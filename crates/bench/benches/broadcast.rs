@@ -1,0 +1,36 @@
+//! Meso-benchmarks: this-work local broadcast vs the fastest baselines
+//! (wall-clock; round counts are reported by `table1`/`table2`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcluster_baselines::local;
+use dcluster_core::{local_broadcast, ProtocolParams, SeedSeq};
+use dcluster_sim::{deploy, rng::Rng64, Engine, Network};
+
+fn bench_local(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_broadcast");
+    group.sample_size(10);
+    let mut rng = Rng64::new(5);
+    let net = Network::builder(deploy::uniform_square(40, 2.5, &mut rng)).build().unwrap();
+    let delta = net.max_degree().max(1);
+
+    group.bench_function("this_work", |b| {
+        b.iter(|| {
+            let params = ProtocolParams::practical();
+            let mut seeds = SeedSeq::new(params.seed);
+            let mut engine = Engine::new(&net);
+            local_broadcast(&mut engine, &params, &mut seeds, net.density())
+        })
+    });
+    group.bench_function("gmw_known_delta", |b| {
+        b.iter(|| local::gmw_known_delta(&net, delta, 7, 1_000_000))
+    });
+    group.bench_function("feedback_hm", |b| {
+        b.iter(|| {
+            local::feedback(&net, delta, local::FeedbackPreset::HalldorssonMitra, 7, 1_000_000)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_local);
+criterion_main!(benches);

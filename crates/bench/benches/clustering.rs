@@ -1,0 +1,31 @@
+//! Meso-benchmark: Theorem 1 clustering wall-clock on small fields
+//! (simulated-round counts are what the experiment binaries report; this
+//! tracks simulator throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcluster_core::clustering::clustering;
+use dcluster_core::{ProtocolParams, SeedSeq};
+use dcluster_sim::{deploy, rng::Rng64, Engine, Network};
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10);
+    for &n in &[30usize, 60] {
+        let mut rng = Rng64::new(13);
+        let net = Network::builder(deploy::uniform_square(n, 2.5, &mut rng)).build().unwrap();
+        let gamma = net.density();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            b.iter(|| {
+                let params = ProtocolParams::practical();
+                let mut seeds = SeedSeq::new(params.seed);
+                let mut engine = Engine::new(net);
+                let all: Vec<usize> = (0..net.len()).collect();
+                clustering(&mut engine, &params, &mut seeds, &all, gamma)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Selector micro-benchmarks: membership tests and property verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcluster_selectors::{verify, RandomSsf, RandomWss, RsSsf, Schedule};
+use dcluster_sim::rng::Rng64;
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selector_membership");
+    let rs = RsSsf::new(1 << 20, 8);
+    let rand = RandomSsf::new(5, 1 << 20, 8, 1.0);
+    group.bench_function("rs_ssf_contains", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in 0..1000u64 {
+                acc += rs.contains(std::hint::black_box(r), 123_456) as u64;
+            }
+            acc
+        })
+    });
+    group.bench_function("random_ssf_contains", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in 0..1000u64 {
+                acc += rand.contains(std::hint::black_box(r), 123_456) as u64;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selector_verify");
+    group.sample_size(10);
+    for &k in &[3usize, 6] {
+        let wss = RandomWss::new(7, 4096, k, 1.0);
+        group.bench_with_input(BenchmarkId::new("wss_property", k), &k, |b, &k| {
+            let mut rng = Rng64::new(1);
+            b.iter(|| {
+                let mut ids = rng.sample_distinct(4096, k + 1);
+                for v in &mut ids {
+                    *v += 1;
+                }
+                let y = ids.pop().unwrap();
+                verify::is_wss_for(&wss, &ids, y)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_membership, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! **Energy experiment** — transmissions as an energy proxy (the paper's
+//! motivation: "wireless ad hoc networks are usually built from
+//! computationally limited devices run on batteries").
+//!
+//! Compares total transmissions and transmissions per node for local
+//! broadcast: this work vs the randomized and feedback baselines.
+
+use dcluster_baselines::local::{self, FeedbackPreset};
+use dcluster_bench::{connected_deployment, print_table, write_csv};
+use dcluster_core::{local_broadcast, ProtocolParams, SeedSeq};
+use dcluster_sim::Engine;
+
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (i, &delta) in [6usize, 12].iter().enumerate() {
+        let net = connected_deployment(70, delta, 650 + i as u64);
+        let d_real = net.max_degree().max(1);
+        let cap = 3_000_000;
+
+        let params = ProtocolParams::practical();
+        let mut seeds = SeedSeq::new(params.seed);
+        let mut engine = Engine::new(&net);
+        let ours = local_broadcast(&mut engine, &params, &mut seeds, net.density());
+        assert!(ours.complete);
+        let ours_tx = engine.stats().transmissions;
+
+        let gmw = local::gmw_known_delta(&net, d_real, 7, cap);
+        let fb = local::feedback(&net, d_real, FeedbackPreset::HalldorssonMitra, 7, cap);
+
+        for (name, rounds, tx) in [
+            ("THIS WORK (deterministic)", ours.rounds, ours_tx),
+            ("[16] randomized", gmw.rounds, gmw.transmissions),
+            ("[19] feedback", fb.rounds, fb.transmissions),
+        ] {
+            rows.push(vec![
+                format!("Δ≈{d_real}"),
+                name.to_string(),
+                rounds.to_string(),
+                tx.to_string(),
+                format!("{:.1}", tx as f64 / net.len() as f64),
+                format!("{:.4}", tx as f64 / rounds.max(1) as f64 / net.len() as f64),
+            ]);
+        }
+        eprintln!("done Δ≈{d_real}");
+    }
+    print_table(
+        "Energy — transmissions during local broadcast (n = 70)",
+        &["net", "algorithm", "rounds", "total tx", "tx per node", "duty cycle"],
+        &rows,
+    );
+    println!(
+        "\nDeterministic schedules are sparse by construction (selector \
+         membership ≈ 1/κ), so per-round duty cycle stays low; the paper's \
+         energy argument for determinism is visible in the duty-cycle column."
+    );
+    write_csv(
+        "energy_accounting",
+        &["net", "algo", "rounds", "tx_total", "tx_per_node", "duty_cycle"],
+        &rows,
+    );
+}

@@ -1,0 +1,116 @@
+//! # dcluster-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §2 for the
+//! full index and EXPERIMENTS.md for recorded results):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — local broadcast comparison |
+//! | `table2` | Table 2 — global broadcast comparison |
+//! | `fig1_phases` | Figure 1 — a phase of SMSBroadcast |
+//! | `fig2_proximity` | Figure 2 — proximity-graph construction |
+//! | `fig3_sparsify` | Figure 3 — sparsification (clustered/unclustered) |
+//! | `fig4_full_sparsify` | Figure 4 — full sparsification levels |
+//! | `fig5_lowerbound_gadget` | Figures 5–6 + Lemma 13 |
+//! | `fig7_lowerbound_chain` | Figure 7 + Theorem 6 |
+//! | `thm1_clustering` | Theorem 1 scaling |
+//! | `thm45_wakeup_leader` | Theorems 4–5 |
+//! | `selector_sizes` | Lemmas 2–3 selector sizes |
+//! | `ablation_wss` | why *witnessed* selection matters (Lemma 7) |
+//!
+//! Each binary prints a markdown table and writes CSV next to it under
+//! `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// Prints a markdown table to stdout.
+pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
+    println!("\n## {title}\n");
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("| {} |", hdr.join(" | "));
+    println!("|{}|", hdr.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+        println!("| {} |", cells.join(" | "));
+    }
+}
+
+/// Writes rows as CSV under `results/<name>.csv` (relative to the CWD the
+/// harness is launched from); errors are reported, not fatal.
+pub fn write_csv<H: Display, C: Display>(name: &str, headers: &[H], rows: &[Vec<C>]) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    let mut out = String::new();
+    out.push_str(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>().join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match fs::write(&path, out) {
+        Ok(()) => println!("\n[csv] wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Scale knob for experiment sizes: `DCLUSTER_SCALE=quick|full` (default
+/// quick). `full` roughly doubles network sizes and sweep points.
+pub fn full_scale() -> bool {
+    std::env::var("DCLUSTER_SCALE").map(|v| v == "full").unwrap_or(false)
+}
+
+/// Builds a connected uniform deployment targeting max degree ≈ `delta`
+/// with `n` nodes (retries seeds until connected).
+pub fn connected_deployment(
+    n: usize,
+    delta: usize,
+    seed: u64,
+) -> dcluster_sim::Network {
+    let comm_r = dcluster_sim::SinrParams::default().comm_radius();
+    for attempt in 0..50 {
+        let mut rng = dcluster_sim::rng::Rng64::new(seed + attempt * 1000);
+        let pts = dcluster_sim::deploy::uniform_with_target_degree(n, delta, comm_r, &mut rng);
+        let net = dcluster_sim::Network::builder(pts).build().expect("nonempty");
+        if net.comm_graph().is_connected() {
+            return net;
+        }
+    }
+    // Fall back to a spined corridor (always connected).
+    let mut rng = dcluster_sim::rng::Rng64::new(seed);
+    let pts = dcluster_sim::deploy::corridor_with_spine(
+        n,
+        (n as f64 / delta.max(1) as f64).max(3.0),
+        1.5,
+        0.5,
+        &mut rng,
+    );
+    dcluster_sim::Network::builder(pts).build().expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_deployment_is_connected() {
+        let net = connected_deployment(60, 8, 3);
+        assert!(net.comm_graph().is_connected());
+        assert_eq!(net.len(), 60);
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table("t", &["a", "b"], &[vec![1, 2], vec![3, 4]]);
+    }
+}

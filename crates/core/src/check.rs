@@ -1,0 +1,158 @@
+//! Invariant checkers for the paper's guarantees.
+//!
+//! These are *observer* utilities (they look at global state) used by the
+//! test-suite and the experiment harness to validate protocol outcomes —
+//! they are never consulted by per-node protocol logic.
+
+use dcluster_sim::network::Network;
+use std::collections::{HashMap, HashSet};
+
+/// Quality report for a clustering (paper §1.3's two conditions plus the
+/// center-separation requirement of the r-clustering definition in §2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteringReport {
+    /// Number of nodes with no cluster.
+    pub unassigned: usize,
+    /// Number of distinct clusters.
+    pub clusters: usize,
+    /// Max distance from a member to its cluster center (condition (i):
+    /// every cluster inside a ball of constant radius).
+    pub max_radius: f64,
+    /// Max number of distinct clusters with a member inside any unit ball
+    /// centered at a node (condition (ii): O(1) clusters per unit ball).
+    pub max_clusters_per_unit_ball: usize,
+    /// Min pairwise distance between cluster centers (definition: centers
+    /// ≥ 1 − ε apart).
+    pub min_center_separation: f64,
+}
+
+/// Computes the report. `cluster_of[v]` is the cluster of node `v` (cluster
+/// IDs are the paper IDs of the center nodes); `None` = unassigned.
+pub fn check_clustering(net: &Network, cluster_of: &[Option<u64>]) -> ClusteringReport {
+    let n = net.len();
+    let unassigned = cluster_of.iter().filter(|c| c.is_none()).count();
+    let mut members: HashMap<u64, Vec<usize>> = HashMap::new();
+    for v in 0..n {
+        if let Some(c) = cluster_of[v] {
+            members.entry(c).or_default().push(v);
+        }
+    }
+    // Radius around the center node (the node whose ID is the cluster ID).
+    let mut max_radius: f64 = 0.0;
+    for (&c, vs) in &members {
+        if let Some(center) = net.index_of(c) {
+            for &v in vs {
+                max_radius = max_radius.max(net.pos(v).dist(net.pos(center)));
+            }
+        }
+    }
+    // Clusters intersecting unit balls centered at nodes.
+    let r = net.params().range();
+    let mut max_cpb = 0;
+    for v in 0..n {
+        let mut seen: HashSet<u64> = HashSet::new();
+        for u in net.grid().within(net.points(), net.pos(v), r) {
+            if let Some(c) = cluster_of[u] {
+                seen.insert(c);
+            }
+        }
+        max_cpb = max_cpb.max(seen.len());
+    }
+    // Center separation.
+    let centers: Vec<usize> =
+        members.keys().filter_map(|&c| net.index_of(c)).collect();
+    let mut min_sep = f64::INFINITY;
+    for i in 0..centers.len() {
+        for j in i + 1..centers.len() {
+            min_sep = min_sep.min(net.pos(centers[i]).dist(net.pos(centers[j])));
+        }
+    }
+    ClusteringReport {
+        unassigned,
+        clusters: members.len(),
+        max_radius,
+        max_clusters_per_unit_ball: max_cpb,
+        min_center_separation: min_sep,
+    }
+}
+
+/// True iff `heard_by` witnesses a successful **local broadcast**: every
+/// node's message was received by each of its communication-graph
+/// neighbors (the problem definition, §1.1).
+pub fn local_broadcast_complete(net: &Network, heard_by: &[HashSet<usize>]) -> bool {
+    missing_deliveries(net, heard_by).is_empty()
+}
+
+/// The `(sender, neighbor)` pairs still missing for a complete local
+/// broadcast.
+pub fn missing_deliveries(
+    net: &Network,
+    heard_by: &[HashSet<usize>],
+) -> Vec<(usize, usize)> {
+    let g = net.comm_graph();
+    let mut out = Vec::new();
+    for v in 0..net.len() {
+        for &u in g.neighbors(v) {
+            if !heard_by[v].contains(&(u as usize)) {
+                out.push((v, u as usize));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcluster_sim::Point;
+
+    fn two_cluster_net() -> (Network, Vec<Option<u64>>) {
+        // Cluster 1 centered at node 0 (id 1), cluster 4 at node 3 (id 4).
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.3, 0.0),
+            Point::new(0.0, 0.4),
+            Point::new(5.0, 0.0),
+            Point::new(5.2, 0.1),
+        ];
+        let net = Network::builder(pts).build().unwrap();
+        let cluster_of = vec![Some(1), Some(1), Some(1), Some(4), Some(4)];
+        (net, cluster_of)
+    }
+
+    #[test]
+    fn report_measures_radius_and_separation() {
+        let (net, cl) = two_cluster_net();
+        let rep = check_clustering(&net, &cl);
+        assert_eq!(rep.unassigned, 0);
+        assert_eq!(rep.clusters, 2);
+        assert!((rep.max_radius - 0.4).abs() < 1e-9);
+        assert!((rep.min_center_separation - 5.0).abs() < 1e-9);
+        assert_eq!(rep.max_clusters_per_unit_ball, 1);
+    }
+
+    #[test]
+    fn unassigned_nodes_are_counted() {
+        let (net, mut cl) = two_cluster_net();
+        cl[2] = None;
+        assert_eq!(check_clustering(&net, &cl).unassigned, 1);
+    }
+
+    #[test]
+    fn local_broadcast_check_spots_missing_pairs() {
+        let (net, _) = two_cluster_net();
+        let mut heard: Vec<HashSet<usize>> = vec![HashSet::new(); net.len()];
+        // Saturate everything…
+        for v in 0..net.len() {
+            for &u in net.comm_graph().neighbors(v) {
+                heard[v].insert(u as usize);
+            }
+        }
+        assert!(local_broadcast_complete(&net, &heard));
+        // …then break one delivery.
+        let v = 0;
+        let u = *net.comm_graph().neighbors(v).first().unwrap() as usize;
+        heard[v].remove(&u);
+        assert_eq!(missing_deliveries(&net, &heard), vec![(v, u)]);
+    }
+}

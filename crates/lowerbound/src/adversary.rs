@@ -1,0 +1,394 @@
+//! The Lemma 13 adversarial ID-assignment game.
+//!
+//! Any deterministic algorithm run on the gadget behaves, at each node, as
+//! a function of (its ID, rounds since wake-up, messages received). The
+//! adversary exploits this: all core nodes wake simultaneously (first
+//! transmission of `s`) and — as long as their reception histories stay
+//! identical — remain *interchangeable*. The adversary watches which
+//! unassigned IDs would transmit next and pins them to the **front** of
+//! the line, two per event, maintaining the invariant that in every round
+//! either no core node transmits, exactly one transmits (everybody hears
+//! the same message — histories stay uniform), or at least two transmit
+//! with all unassigned nodes positioned beyond the second transmitter
+//! (Fact 2: they hear nothing — histories stay uniform). `v_{∆+1}` thus
+//! receives its identity only after `Ω(∆)` assignment events, and `t`
+//! (which only `v_{∆+1}` can reach, and only as the *sole* core
+//! transmitter — Fact 2.2) stays deaf for `Ω(∆)` rounds.
+
+use crate::gadget::Gadget;
+use dcluster_selectors::ssf::RandomSsf;
+use dcluster_selectors::Schedule;
+use dcluster_sim::engine::{Engine, RoundBehavior};
+use dcluster_sim::network::Network;
+use dcluster_sim::rng::hash64;
+
+/// A deterministic transmission strategy: the per-node algorithm the lower
+/// bound quantifies over. `history` is the node's reception log
+/// `(round_since_wake, sender_id)` — identical for interchangeable nodes.
+pub trait DeterministicStrategy {
+    /// Does the node with `id` transmit at `round` (counted from its
+    /// wake-up) given its reception history?
+    fn transmits(&self, id: u64, round: u64, history: &[(u64, u64)]) -> bool;
+}
+
+/// Round-robin by ID: `id ≡ round (mod period)` — the collision-free sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundRobin {
+    /// Sweep period (usually the ID-space bound `N`).
+    pub period: u64,
+}
+
+impl DeterministicStrategy for RoundRobin {
+    fn transmits(&self, id: u64, round: u64, _history: &[(u64, u64)]) -> bool {
+        id % self.period == round % self.period
+    }
+}
+
+/// ssf-driven strategy: transmit iff the ssf schedules your ID.
+#[derive(Debug, Clone, Copy)]
+pub struct SsfStrategy(pub RandomSsf);
+
+impl DeterministicStrategy for SsfStrategy {
+    fn transmits(&self, id: u64, round: u64, _history: &[(u64, u64)]) -> bool {
+        self.0.contains(round % self.0.len(), id)
+    }
+}
+
+/// A pseudo-random tape with density `1/k` — the "derandomized coin"
+/// strategy (what a randomized algorithm looks like once its coins are
+/// fixed, which is exactly the lower bound's adversary model).
+#[derive(Debug, Clone, Copy)]
+pub struct HashedCoin {
+    /// Tape seed.
+    pub seed: u64,
+    /// Inverse transmission probability.
+    pub k: u64,
+}
+
+impl DeterministicStrategy for HashedCoin {
+    fn transmits(&self, id: u64, round: u64, _history: &[(u64, u64)]) -> bool {
+        (hash64(self.seed, &[id, round]) as u128 * self.k as u128) >> 64 == 0
+    }
+}
+
+/// The strongest oblivious strategy here: a **multi-scale tape**
+/// interleaving densities `1/2, 1/4, …, 1/2^L` round-robin (the classic
+/// decay idea, derandomized into a fixed tape). Whatever the local
+/// contention `m ≤ 2^L`, every `L` rounds one round has density `≈ 1/m`,
+/// so sparse regions (buffer paths) are crossed in `O(L)` rounds per hop —
+/// yet the Lemma 13 adversary still extracts Ω(Δ) inside a gadget,
+/// which is exactly Theorem 6's point.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiScale {
+    /// Tape seed.
+    pub seed: u64,
+    /// Number of density scales (`L`), covering contention up to `2^L`.
+    pub scales: u32,
+}
+
+impl DeterministicStrategy for MultiScale {
+    fn transmits(&self, id: u64, round: u64, _history: &[(u64, u64)]) -> bool {
+        let j = (round % self.scales as u64) as u32 + 1; // density 2^-j
+        let k = 1u64 << j.min(63);
+        (hash64(self.seed, &[id, round]) as u128 * k as u128) >> 64 == 0
+    }
+}
+
+/// Outcome of the assignment game.
+#[derive(Debug, Clone)]
+pub struct GameOutcome {
+    /// `assignment[i]` = ID given to core position `v_i`.
+    pub assignment: Vec<u64>,
+    /// Rounds played until every ID was pinned (≥ #events ≥ (∆+2)/2 − 1).
+    pub rounds_to_assign: u64,
+    /// Assignment events (each pins two IDs).
+    pub events: usize,
+}
+
+/// Plays the Lemma 13 game for a gadget with core parameter `delta`
+/// against `strategy`, using the ID pool `ids` (`|ids| ≥ ∆ + 2`).
+///
+/// # Panics
+///
+/// Panics if fewer than `∆ + 2` IDs are supplied.
+pub fn adversarial_assignment<S: DeterministicStrategy>(
+    strategy: &S,
+    delta: usize,
+    ids: &[u64],
+    max_rounds: u64,
+) -> GameOutcome {
+    let core = delta + 2;
+    assert!(ids.len() >= core, "need at least ∆+2 candidate IDs");
+    let mut pool: Vec<u64> = ids[..core].to_vec();
+    let mut assignment: Vec<u64> = Vec::with_capacity(core);
+    let mut history: Vec<(u64, u64)> = Vec::new(); // uniform reception log
+    let mut events = 0usize;
+    let mut rounds = 0u64;
+
+    for round in 1..=max_rounds {
+        rounds = round;
+        if pool.len() <= 2 {
+            break;
+        }
+        // Who would transmit this round?
+        let assigned_tx: Vec<u64> = assignment
+            .iter()
+            .copied()
+            .filter(|&id| strategy.transmits(id, round, &history))
+            .collect();
+        let pool_tx: Vec<u64> =
+            pool.iter().copied().filter(|&id| strategy.transmits(id, round, &history)).collect();
+
+        match (assigned_tx.len(), pool_tx.len()) {
+            (_, w) if w >= 2 => {
+                // ≥2 unassigned would transmit: pin the two earliest to the
+                // next front positions — everyone beyond the second
+                // transmitter hears nothing (Fact 2.1).
+                for id in pool_tx.iter().take(2) {
+                    assignment.push(*id);
+                    pool.retain(|x| x != id);
+                }
+                events += 1;
+            }
+            (a, 1) => {
+                // One unassigned transmitter: pin it forward together with
+                // an arbitrary silent companion.
+                let j = pool_tx[0];
+                assignment.push(j);
+                pool.retain(|&x| x != j);
+                let k = pool[0];
+                assignment.push(k);
+                pool.remove(0);
+                events += 1;
+                if a == 0 {
+                    // j was the sole transmitter: its message reaches every
+                    // core node — uniformly. Histories stay identical.
+                    history.push((round, j));
+                }
+            }
+            (1, 0) => {
+                // Sole assigned transmitter: uniform reception.
+                history.push((round, assigned_tx[0]));
+            }
+            _ => { /* 0 transmitters, or ≥2 assigned: nothing uniform-breaking */ }
+        }
+    }
+
+    // Pool is down to ≤2: put the later-transmitting one at v_{∆+1} to
+    // maximize the remaining delay.
+    if pool.len() == 2 {
+        let next_tx = |id: u64| {
+            (rounds + 1..rounds + 1_000_000)
+                .find(|&r| strategy.transmits(id, r, &history))
+                .unwrap_or(u64::MAX)
+        };
+        let (a, b) = (pool[0], pool[1]);
+        if next_tx(a) <= next_tx(b) {
+            assignment.push(a);
+            assignment.push(b);
+        } else {
+            assignment.push(b);
+            assignment.push(a);
+        }
+    } else {
+        assignment.extend(pool.iter().copied());
+    }
+    assert_eq!(assignment.len(), core);
+    GameOutcome { assignment, rounds_to_assign: rounds, events }
+}
+
+/// Behavior running `strategy` on a real gadget network: `s` transmits
+/// once at round 0 (waking the core); core nodes then follow the strategy;
+/// each node's history is its true reception log. Used to *validate* the
+/// game's prediction under full SINR physics.
+struct GadgetRun<'a, S: DeterministicStrategy> {
+    strategy: &'a S,
+    awake_at: Vec<Option<u64>>,
+    history: Vec<Vec<(u64, u64)>>,
+    target: usize,
+    target_heard_at: Option<u64>,
+    source: usize,
+}
+
+impl<S: DeterministicStrategy> RoundBehavior<u64> for GadgetRun<'_, S> {
+    fn transmit(&mut self, net: &Network, v: usize, round: u64) -> Option<u64> {
+        if v == self.source {
+            return (round == 0).then(|| net.id(v));
+        }
+        if v == self.target {
+            return None;
+        }
+        let woke = self.awake_at[v]?;
+        self.strategy
+            .transmits(net.id(v), round - woke, &self.history[v])
+            .then(|| net.id(v))
+    }
+    fn receive(&mut self, _net: &Network, v: usize, round: u64, _s: usize, msg: &u64) {
+        if self.awake_at[v].is_none() {
+            self.awake_at[v] = Some(round);
+        }
+        let woke = self.awake_at[v].unwrap();
+        self.history[v].push((round - woke, *msg));
+        if v == self.target && self.target_heard_at.is_none() {
+            self.target_heard_at = Some(round);
+        }
+    }
+}
+
+/// Runs `strategy` on the real gadget (SINR physics) under the adversarial
+/// assignment; returns the round at which `t` first decodes a message
+/// (`None` if it never does within `max_rounds`).
+pub fn measure_gadget<S: DeterministicStrategy>(
+    gadget: &Gadget,
+    params: &dcluster_sim::SinrParams,
+    assignment: &[u64],
+    source_id: u64,
+    target_id: u64,
+    strategy: &S,
+    max_rounds: u64,
+) -> Option<u64> {
+    let mut ids = vec![0u64; gadget.len()];
+    ids[gadget.source()] = source_id;
+    ids[gadget.target()] = target_id;
+    for (i, &id) in assignment.iter().enumerate() {
+        ids[gadget.core(i)] = id;
+    }
+    let max_id = ids.iter().copied().max().unwrap();
+    let net = dcluster_sim::Network::builder(gadget.points().to_vec())
+        .params(*params)
+        .ids(ids)
+        .max_id(max_id)
+        .build()
+        .expect("valid gadget network");
+    let mut engine = Engine::new(&net);
+    let mut run = GadgetRun {
+        strategy,
+        awake_at: {
+            let mut w = vec![None; net.len()];
+            w[gadget.source()] = Some(0);
+            w
+        },
+        history: vec![Vec::new(); net.len()],
+        target: gadget.target(),
+        target_heard_at: None,
+        source: gadget.source(),
+    };
+    engine.run_until(&mut run, max_rounds, |r| r.target_heard_at.is_some());
+    run.target_heard_at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_bound_params;
+
+    #[test]
+    fn game_assigns_everyone_and_counts_events() {
+        let strat = RoundRobin { period: 64 };
+        let ids: Vec<u64> = (1..=18).collect();
+        let out = adversarial_assignment(&strat, 16, &ids, 100_000);
+        assert_eq!(out.assignment.len(), 18);
+        let mut sorted = out.assignment.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, ids, "assignment must be a permutation of the pool");
+        assert!(out.events >= 16 / 2, "≥ ∆/2 events, got {}", out.events);
+    }
+
+    #[test]
+    fn round_robin_takes_omega_delta_on_the_gadget() {
+        let p = lower_bound_params();
+        for delta in [8usize, 16, 24] {
+            let g = Gadget::new(delta, &p, 0.0);
+            let strat = RoundRobin { period: (delta + 6) as u64 };
+            let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
+            let out = adversarial_assignment(&strat, delta, &ids, 1_000_000);
+            let heard = measure_gadget(
+                &g, &p, &out.assignment, 1000, 1001, &strat, 1_000_000,
+            );
+            let rounds = heard.expect("round robin eventually delivers");
+            assert!(
+                rounds as usize >= delta / 2,
+                "∆={delta}: t heard after only {rounds} rounds"
+            );
+        }
+    }
+
+    #[test]
+    fn hashed_coin_also_suffers_linear_delay() {
+        let p = lower_bound_params();
+        let delta = 16;
+        let g = Gadget::new(delta, &p, 0.0);
+        let strat = HashedCoin { seed: 99, k: 8 };
+        let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
+        let out = adversarial_assignment(&strat, delta, &ids, 2_000_000);
+        let heard =
+            measure_gadget(&g, &p, &out.assignment, 1000, 1001, &strat, 2_000_000);
+        if let Some(rounds) = heard {
+            assert!(
+                rounds as usize >= delta / 4,
+                "adversary should force ≥ ∆/4 rounds, got {rounds}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_scale_pays_omega_delta_despite_adapting_to_contention() {
+        let p = lower_bound_params();
+        let delta = 24;
+        let g = Gadget::new(delta, &p, 0.0);
+        let strat = MultiScale { seed: 3, scales: 8 };
+        let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
+        let out = adversarial_assignment(&strat, delta, &ids, 2_000_000);
+        assert!(out.events >= delta / 2, "the adversary needs Ω(Δ) events");
+        let heard =
+            measure_gadget(&g, &p, &out.assignment, 900, 901, &strat, 2_000_000);
+        if let Some(rounds) = heard {
+            assert!(
+                rounds as usize >= delta / 4,
+                "multi-scale should still pay Ω(Δ): {rounds}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_scale_densities_cycle() {
+        let strat = MultiScale { seed: 1, scales: 4 };
+        // Round density 1/2 at j=1 rounds: measure empirically.
+        let mut dense = 0;
+        let mut sparse = 0;
+        for id in 0..4000u64 {
+            if strat.transmits(id, 0, &[]) {
+                dense += 1; // round 0: j = 1, p = 1/2
+            }
+            if strat.transmits(id, 3, &[]) {
+                sparse += 1; // round 3: j = 4, p = 1/16
+            }
+        }
+        assert!((dense as f64 - 2000.0).abs() < 200.0, "p=1/2 rate: {dense}/4000");
+        assert!((sparse as f64 - 250.0).abs() < 100.0, "p=1/16 rate: {sparse}/4000");
+    }
+
+    #[test]
+    fn adversarial_order_is_no_faster_than_friendly_order() {
+        // Friendly: v_{∆+1} gets the earliest-transmitting ID.
+        let p = lower_bound_params();
+        let delta = 12;
+        let g = Gadget::new(delta, &p, 0.0);
+        let strat = RoundRobin { period: 40 };
+        let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
+        let adv = adversarial_assignment(&strat, delta, &ids, 1_000_000);
+        let adv_rounds =
+            measure_gadget(&g, &p, &adv.assignment, 1000, 1001, &strat, 1_000_000)
+                .expect("delivers");
+        // Friendly assignment: smallest ID (earliest round-robin slot) last.
+        let mut friendly = ids.clone();
+        friendly.sort_unstable_by(|a, b| b.cmp(a)); // v_{∆+1} ← id 1
+        let fr_rounds =
+            measure_gadget(&g, &p, &friendly, 1000, 1001, &strat, 1_000_000)
+                .expect("delivers");
+        assert!(
+            adv_rounds >= fr_rounds,
+            "adversarial ({adv_rounds}) must be ≥ friendly ({fr_rounds})"
+        );
+    }
+}

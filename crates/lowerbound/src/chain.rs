@@ -1,0 +1,248 @@
+//! Figure 7: gadgets chained with buffer paths — the `Ω(D·∆^{1−1/α})`
+//! network family.
+//!
+//! Between consecutive gadgets sits a path of `κ = ⌈∆^{1/α}/(1−ε)⌉` nodes
+//! at spacing `(1−ε)·range`, absorbing cross-gadget interference (Fact 3).
+//! The broadcast must cross every gadget, paying Ω(∆) rounds each (Lemma
+//! 13), while the paths contribute only `Θ(κ)` hops of diameter — hence
+//! rounds/D = `Ω(∆/κ) = Ω(∆^{1−1/α})`.
+//!
+//! The embedding of the single-gadget adversary into the chain is exact
+//! for *oblivious* strategies (transmission = f(ID, rounds-since-wake)),
+//! which is what the strategy suite in [`crate::adversary`] provides; see
+//! the module docs there for the history-uniformity caveat on adaptive
+//! strategies.
+
+use crate::adversary::{adversarial_assignment, DeterministicStrategy};
+use crate::gadget::Gadget;
+use dcluster_sim::engine::{Engine, RoundBehavior};
+use dcluster_sim::network::Network;
+use dcluster_sim::{Point, SinrParams};
+
+/// A built chain network description.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    points: Vec<Point>,
+    /// Per gadget: (member index range, core index range, target index).
+    gadgets: Vec<(std::ops::Range<usize>, std::ops::Range<usize>, usize)>,
+    kappa: usize,
+    delta: usize,
+}
+
+impl Chain {
+    /// All node positions.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of gadgets.
+    pub fn gadget_count(&self) -> usize {
+        self.gadgets.len()
+    }
+
+    /// Buffer path length κ.
+    pub fn kappa(&self) -> usize {
+        self.kappa
+    }
+
+    /// Core parameter ∆.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// Membership mask of gadget `gi` (s, core, t).
+    pub fn gadget_mask(&self, gi: usize) -> Vec<bool> {
+        let mut m = vec![false; self.points.len()];
+        for i in self.gadgets[gi].0.clone() {
+            m[i] = true;
+        }
+        m
+    }
+
+    /// Core node indices of gadget `gi`.
+    pub fn core_indices(&self, gi: usize) -> Vec<usize> {
+        self.gadgets[gi].1.clone().collect()
+    }
+
+    /// Target (t) index of gadget `gi`.
+    pub fn target_of(&self, gi: usize) -> usize {
+        self.gadgets[gi].2
+    }
+
+    /// The final target (last gadget's `t`).
+    pub fn final_target(&self) -> usize {
+        self.gadgets.last().expect("≥1 gadget").2
+    }
+}
+
+/// Builds a chain of `gadget_count` gadgets with core parameter `delta`.
+pub fn build_chain(gadget_count: usize, delta: usize, params: &SinrParams) -> Chain {
+    assert!(gadget_count >= 1);
+    let range = params.range();
+    let eps = params.epsilon;
+    // 0.999 float-safety margin: hops at exactly the comm radius can lose
+    // their graph edge to rounding in the accumulated x coordinates.
+    let hop = range * (1.0 - eps) * 0.999;
+    // κ = ∆^{1/α} / (1−ε), at least 1 (paper §6).
+    let kappa =
+        ((delta as f64).powf(1.0 / params.alpha) / (1.0 - eps)).ceil().max(1.0) as usize;
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut gadgets = Vec::new();
+    let mut x = 0.0;
+    for gi in 0..gadget_count {
+        // Buffer path w_1 … w_κ (the chain's start doubles as the source).
+        for _ in 0..kappa {
+            points.push(Point::new(x, 0.0));
+            x += hop;
+        }
+        // Gadget: its s sits one hop after w_κ (x already advanced).
+        let g = Gadget::new(delta, params, x);
+        let start = points.len();
+        points.extend_from_slice(g.points());
+        let core = (start + g.core_range().start)..(start + g.core_range().end);
+        let target = start + g.target();
+        gadgets.push((start..points.len(), core, target));
+        // Continue after t.
+        x = points[target].x + hop;
+        let _ = gi;
+    }
+    Chain { points, gadgets, kappa, delta }
+}
+
+/// Outcome of a chain broadcast measurement.
+#[derive(Debug, Clone)]
+pub struct ChainMeasurement {
+    /// Round at which the final target decoded a message (`None` = cap hit).
+    pub rounds: Option<u64>,
+    /// Round each gadget's target first decoded, in order.
+    pub per_gadget: Vec<Option<u64>>,
+    /// Hop diameter of the chain's communication graph.
+    pub diameter: u32,
+    /// Total nodes.
+    pub nodes: usize,
+}
+
+struct ChainRun<'a, S: DeterministicStrategy> {
+    strategy: &'a S,
+    awake_at: Vec<Option<u64>>,
+    heard_at: Vec<Option<u64>>,
+}
+
+impl<S: DeterministicStrategy> RoundBehavior<u64> for ChainRun<'_, S> {
+    fn transmit(&mut self, net: &Network, v: usize, round: u64) -> Option<u64> {
+        let woke = self.awake_at[v]?;
+        self.strategy.transmits(net.id(v), round - woke, &[]).then(|| net.id(v))
+    }
+    fn receive(&mut self, _net: &Network, v: usize, round: u64, _s: usize, msg: &u64) {
+        if self.awake_at[v].is_none() {
+            self.awake_at[v] = Some(round + 1); // participates from next round
+        }
+        if self.heard_at[v].is_none() {
+            self.heard_at[v] = Some(round);
+        }
+        let _ = msg;
+    }
+}
+
+/// Measures a broadcast across the chain under `strategy`, with the Lemma
+/// 13 adversarial ID assignment inside every gadget core. The source (the
+/// first path node) is awake at round 0; everyone else wakes on first
+/// reception.
+pub fn measure_chain<S: DeterministicStrategy>(
+    chain: &Chain,
+    params: &SinrParams,
+    strategy: &S,
+    max_rounds: u64,
+) -> ChainMeasurement {
+    let n = chain.points.len();
+    // IDs: gadget cores get adversarial pools; everyone else sequential.
+    let mut ids: Vec<u64> = vec![0; n];
+    let mut next_id = 1u64;
+    for v in 0..n {
+        ids[v] = next_id;
+        next_id += 1;
+    }
+    for gi in 0..chain.gadget_count() {
+        let core = chain.core_indices(gi);
+        let pool: Vec<u64> = core.iter().map(|&v| ids[v]).collect();
+        let game =
+            adversarial_assignment(strategy, chain.delta, &pool, max_rounds.min(500_000));
+        for (slot, &v) in core.iter().enumerate() {
+            ids[v] = game.assignment[slot];
+        }
+    }
+    let net = Network::builder(chain.points.clone())
+        .params(*params)
+        .ids(ids)
+        .build()
+        .expect("valid chain network");
+
+    let mut run = ChainRun {
+        strategy,
+        awake_at: {
+            let mut w = vec![None; n];
+            w[0] = Some(0);
+            w
+        },
+        heard_at: vec![None; n],
+    };
+    let mut engine = Engine::new(&net);
+    let final_t = chain.final_target();
+    engine.run_until(&mut run, max_rounds, |r| r.heard_at[final_t].is_some());
+
+    ChainMeasurement {
+        rounds: run.heard_at[final_t],
+        per_gadget: (0..chain.gadget_count())
+            .map(|gi| run.heard_at[chain.target_of(gi)])
+            .collect(),
+        diameter: net.comm_graph().diameter_estimate().unwrap_or(0),
+        nodes: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::HashedCoin;
+    use crate::lower_bound_params;
+
+    #[test]
+    fn chain_is_connected_and_sized_right() {
+        let p = lower_bound_params();
+        let chain = build_chain(3, 8, &p);
+        assert_eq!(chain.gadget_count(), 3);
+        assert_eq!(chain.points().len(), 3 * (chain.kappa() + 8 + 4));
+        let net = Network::builder(chain.points().to_vec()).params(p).build().unwrap();
+        assert!(net.comm_graph().is_connected(), "chain must be connected");
+    }
+
+    #[test]
+    fn kappa_follows_the_alpha_root() {
+        let p = lower_bound_params();
+        let small = build_chain(1, 4, &p);
+        let large = build_chain(1, 32, &p);
+        // κ = ∆^{1/α}/(1−ε): 32^{0.4} / 4^{0.4} = 8^{0.4} ≈ 2.3.
+        assert!(large.kappa() > small.kappa());
+        assert!(large.kappa() <= small.kappa() * 4);
+    }
+
+    #[test]
+    fn broadcast_crosses_the_chain_and_pays_per_gadget() {
+        let p = lower_bound_params();
+        let delta = 8;
+        let chain = build_chain(2, delta, &p);
+        let strat = HashedCoin { seed: 5, k: 6 };
+        let m = measure_chain(&chain, &p, &strat, 3_000_000);
+        let rounds = m.rounds.expect("broadcast must eventually cross");
+        // Each gadget costs Ω(∆) (≥ ∆/4 conservatively), serialized.
+        assert!(
+            rounds >= (2 * delta / 4) as u64,
+            "2 gadgets × ∆={delta} should cost ≥ {}, got {rounds}",
+            2 * delta / 4
+        );
+        // Per-gadget times are increasing along the chain.
+        let times: Vec<u64> = m.per_gadget.iter().map(|t| t.unwrap()).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+}

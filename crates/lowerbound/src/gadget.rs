@@ -1,0 +1,161 @@
+//! The Figure 5/6 gadget geometry.
+
+use dcluster_sim::{Point, SinrParams};
+
+/// A single lower-bound gadget: `s, v_0, …, v_{∆+1}, t` on a line.
+///
+/// Distances (Figure 6): `d(v_i, v_{i+1}) = ε/2^{∆−i}` for `i < ∆`,
+/// `d(v_∆, v_{∆+1}) = 2ε`, `d(s, v_0) = ε`, `d(v_{∆+1}, t) = 1−ε`. Hence
+/// `2ε < d(v_0, v_{∆+1}) < 3ε`, and `t` is within range of `v_{∆+1}` only.
+#[derive(Debug, Clone)]
+pub struct Gadget {
+    points: Vec<Point>,
+    delta: usize,
+}
+
+/// Gadget core sizes above this lose the geometric-sequence separation to
+/// f64 rounding (`ε/2^∆` underflows relative to the coordinate scale).
+pub const MAX_DELTA: usize = 40;
+
+impl Gadget {
+    /// Builds the gadget for core parameter `delta` at horizontal offset
+    /// `x0` (the source sits at `(x0, 0)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is 0 or exceeds [`MAX_DELTA`].
+    pub fn new(delta: usize, params: &SinrParams, x0: f64) -> Self {
+        assert!(delta >= 1 && delta <= MAX_DELTA, "delta must be in [1, {MAX_DELTA}]");
+        let eps = params.epsilon;
+        let mut points = Vec::with_capacity(delta + 4);
+        points.push(Point::new(x0, 0.0)); // s
+        let mut x = x0 + eps; // v_0
+        points.push(Point::new(x, 0.0));
+        for i in 0..delta {
+            x += eps / 2f64.powi((delta - i) as i32); // d(v_i, v_{i+1}) = ε/2^{∆−i}
+            points.push(Point::new(x, 0.0)); // v_{i+1}
+        }
+        // The last core hop is 2ε (Figure 6): v_∆ → v_{∆+1}.
+        x += 2.0 * eps;
+        points.push(Point::new(x, 0.0)); // v_{∆+1}
+        // t at 1−ε beyond v_{∆+1} (0.999 float-safety margin keeps the
+        // v_{∆+1}–t communication edge robust to accumulated rounding).
+        let range = params.range();
+        points.push(Point::new(x + range * (1.0 - eps) * 0.999, 0.0));
+        Self { points, delta }
+    }
+
+    /// Core parameter ∆ (the core has `∆ + 2` nodes `v_0 … v_{∆+1}`).
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// All points: `[s, v_0, …, v_{∆+1}, t]`.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Index of the source `s`.
+    pub fn source(&self) -> usize {
+        0
+    }
+
+    /// Index of core node `v_i` (`i ≤ ∆+1`).
+    pub fn core(&self, i: usize) -> usize {
+        debug_assert!(i <= self.delta + 1);
+        1 + i
+    }
+
+    /// Indices of the whole core `v_0 … v_{∆+1}`.
+    pub fn core_range(&self) -> std::ops::Range<usize> {
+        1..(self.delta + 3)
+    }
+
+    /// Index of the target `t`.
+    pub fn target(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// Number of nodes (`∆ + 4`).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always false (a gadget has ≥ 5 nodes).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_bound_params;
+
+    #[test]
+    fn geometry_matches_figure_six() {
+        let p = lower_bound_params();
+        let eps = p.epsilon;
+        let g = Gadget::new(10, &p, 0.0);
+        assert_eq!(g.len(), 14);
+        let pts = g.points();
+        // d(s, v0) = ε.
+        assert!((pts[g.core(0)].x - pts[g.source()].x - eps).abs() < 1e-12);
+        // Geometric steps double.
+        for i in 0..9 {
+            let d1 = pts[g.core(i + 1)].x - pts[g.core(i)].x;
+            let d2 = pts[g.core(i + 2)].x - pts[g.core(i + 1)].x;
+            if i + 2 <= 10 {
+                let ratio = d2 / d1;
+                // The final hop is pinned to 2ε, so skip the last ratio.
+                if i + 2 < 11 {
+                    assert!((ratio - 2.0).abs() < 1e-9, "step ratio {ratio} at {i}");
+                }
+            }
+        }
+        // 2ε < d(v0, v_{∆+1}) < 3ε (paper, Figure 6).
+        let span = pts[g.core(11)].x - pts[g.core(0)].x;
+        assert!(span > 2.0 * eps && span < 3.0 * eps, "core span {span}");
+        // d(v_{∆+1}, t) = (1 − ε)·0.999 (float-safety margin).
+        let dt = pts[g.target()].x - pts[g.core(11)].x;
+        assert!((dt - (1.0 - eps) * 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn only_the_last_core_node_reaches_t() {
+        let p = lower_bound_params();
+        let g = Gadget::new(12, &p, 0.0);
+        let pts = g.points();
+        let t = pts[g.target()];
+        for i in g.core_range() {
+            let d = pts[i].dist(t);
+            if i == g.core(g.delta() + 1) {
+                assert!(d <= 1.0, "v_Δ+1 must be in range of t");
+            } else {
+                assert!(d > 1.0, "node {i} at distance {d} ≤ 1 from t");
+            }
+        }
+        // s is also out of range of t.
+        assert!(pts[g.source()].dist(t) > 1.0);
+    }
+
+    #[test]
+    fn source_covers_the_whole_core() {
+        let p = lower_bound_params();
+        let g = Gadget::new(20, &p, 3.0);
+        let pts = g.points();
+        for i in g.core_range() {
+            assert!(
+                pts[g.source()].dist(pts[i]) <= 4.0 * p.epsilon,
+                "core must lie within 4ε of s"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in")]
+    fn oversized_delta_is_rejected() {
+        let p = lower_bound_params();
+        let _ = Gadget::new(MAX_DELTA + 1, &p, 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! # dcluster-lowerbound — Theorem 6 as an executable game
+//!
+//! The paper's lower bound `Ω(D·∆^{1−1/α})` for deterministic global
+//! broadcast is proved with a *gadget* network (Figures 5–6) and an
+//! adversarial ID assignment (Lemma 13). This crate makes all of it
+//! executable:
+//!
+//! * [`gadget`] — the Figure 5/6 geometry: core nodes on a line at
+//!   geometrically growing distances `ε/2^{∆−i}`, a source `s` within `ε`,
+//!   and a target `t` exactly `1−ε` beyond the last core node (so only
+//!   `v_{∆+1}` can reach it).
+//! * [`adversary`] — the Lemma 13 game against any
+//!   [`adversary::DeterministicStrategy`]: IDs are assigned to core
+//!   positions lazily, two per "event", so that for `Ω(∆)` rounds either no
+//!   core node or at least two core nodes transmit — and `t` hears nothing.
+//! * [`chain`] — Figure 7: gadgets chained with `κ = ∆^{1/α}/(1−ε)`-node
+//!   buffer paths, giving the `D`-dependent bound.
+//! * [`facts`] — numeric verification of Fact 2 (geometric-sequence
+//!   blocking) and Fact 3 (outside-gadget interference ≤ ν).
+//!
+//! ## Parameter regime
+//!
+//! Fact 2's blocking argument compares the decoder's SINR against ratios of
+//! consecutive geometric distances: with two transmitters `v_i, v_j`
+//! (`i < j`) the best SINR any node beyond `v_j` sees is `< 2^α`. The
+//! blocking therefore needs **`β > 2^α`** — a constant relation the paper
+//! leaves inside "for ε small enough". All experiments here use
+//! [`lower_bound_params`] (`α = 2.5, β = 6, ε = 0.05`), under which every
+//! Fact is machine-checked in [`facts`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod chain;
+pub mod facts;
+pub mod gadget;
+
+pub use adversary::{adversarial_assignment, measure_gadget, DeterministicStrategy};
+pub use chain::{build_chain, measure_chain, Chain};
+pub use gadget::Gadget;
+
+use dcluster_sim::SinrParams;
+
+/// The SINR regime of the lower-bound experiments: `α = 2.5`, `β = 6`
+/// (`> 2^α ≈ 5.66`, required by Fact 2), noise 1, range 1, `ε = 0.05`
+/// (small enough for Fact 3's interference budget ν ≈ 55).
+pub fn lower_bound_params() -> SinrParams {
+    SinrParams::normalized(2.5, 6.0, 1.0, 0.05)
+}
+
+/// Lemma 13's interference budget `ν`: the largest outside interference
+/// under which a sole in-gadget transmitter is still decoded across the
+/// whole core (`P/(4ε)^α / (noise + ν) = β`).
+pub fn nu(params: &SinrParams) -> f64 {
+    params.power / (params.beta * (4.0 * params.epsilon).powf(params.alpha)) - params.noise
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_regime_satisfies_the_standing_assumptions() {
+        let p = lower_bound_params();
+        assert!(p.alpha > 2.0);
+        assert!(p.beta > 2.0f64.powf(p.alpha), "Fact 2 requires beta > 2^alpha");
+        assert!((p.range() - 1.0).abs() < 1e-12);
+        assert!(nu(&p) > 0.0, "nu must be positive for the gadget to wake up");
+    }
+
+    #[test]
+    fn nu_grows_as_epsilon_shrinks() {
+        let a = nu(&SinrParams::normalized(2.5, 6.0, 1.0, 0.1));
+        let b = nu(&SinrParams::normalized(2.5, 6.0, 1.0, 0.05));
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,67 @@
+//! Small prime utilities for the Reed–Solomon constructions.
+
+/// Deterministic primality test by trial division (adequate: construction
+/// primes stay far below 2³²).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    if n % 3 == 0 {
+        return n == 3;
+    }
+    let mut d = 5u64;
+    while d * d <= n {
+        if n % d == 0 || n % (d + 2) == 0 {
+            return false;
+        }
+        d += 6;
+    }
+    true
+}
+
+/// Smallest prime ≥ `n` (Bertrand guarantees one below `2n`).
+pub fn next_prime(n: u64) -> u64 {
+    let mut c = n.max(2);
+    while !is_prime(c) {
+        c += 1;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified_correctly() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 97, 101, 7919];
+        let composites = [0u64, 1, 4, 6, 9, 15, 21, 25, 49, 91, 7917];
+        for p in primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn next_prime_finds_the_successor() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(8), 11);
+        assert_eq!(next_prime(11), 11);
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(next_prime(7908), 7919);
+    }
+
+    #[test]
+    fn next_prime_outputs_are_prime_for_a_range() {
+        for n in 0..500 {
+            let p = next_prime(n);
+            assert!(is_prime(p));
+            assert!(p >= n);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Closed-form size bounds from the paper, exposed for the Lemma 2/3 size
+//! experiments (`selector_sizes` binary) and for documentation.
+
+/// Non-constructive optimal `(N,k)`-ssf size `O(k² log(N/k))`
+/// (Clementi–Monti–Silvestri \[6\]); returned with constant 1 for shape
+/// comparisons.
+pub fn ssf_optimal(n_univ: u64, k: usize) -> f64 {
+    let k = k as f64;
+    k * k * ((n_univ as f64 / k).max(2.0)).ln()
+}
+
+/// Explicit Reed–Solomon `(N,k)`-ssf size `q² = O((k·log N / log k)²)`.
+pub fn ssf_rs(n_univ: u64, k: usize) -> f64 {
+    let s = crate::ssf::RsSsf::new(n_univ, k);
+    (s.field_size() * s.field_size()) as f64
+}
+
+/// Lemma 2 `(N,k)`-wss size `O(k³ log N)`.
+pub fn wss(n_univ: u64, k: usize) -> f64 {
+    crate::wss::RandomWss::recommended_len(n_univ, k) as f64
+}
+
+/// Lemma 3 `(N,k,l)`-wcss size `O((k+l)·l·k² log N)`.
+pub fn wcss(n_univ: u64, k: usize, l: usize) -> f64 {
+    crate::wcss::RandomWcss::recommended_len(n_univ, k, l) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_bounds_matches_the_paper() {
+        // wss pays a factor ~k over ssf; wcss pays a further factor in l.
+        let n = 1 << 20;
+        assert!(wss(n, 8) > ssf_optimal(n, 8));
+        assert!(wcss(n, 8, 4) > wss(n, 8));
+    }
+
+    #[test]
+    fn rs_size_is_polynomial_in_k() {
+        assert!(ssf_rs(1 << 20, 16) > ssf_rs(1 << 20, 4));
+    }
+}

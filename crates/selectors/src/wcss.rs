@@ -1,0 +1,171 @@
+//! Witnessed cluster-aware strong selectors — `(N,k,l)`-wcss (Lemma 3).
+//!
+//! The clustered generalization of [`crate::wss`]: for any set `C` of `l`
+//! conflicting clusters, any cluster `φ ∉ C`, any `X ⊆ [N] × {φ}` with
+//! `|X| = k`, each `x ∈ X` and each `y ∉ X` from cluster `φ`, some set
+//! `S_i` selects `x` from `X`, contains the witness `y`, and is **free** of
+//! all clusters in `C` (no pair `(·, c)` with `c ∈ C` is scheduled).
+
+use crate::ClusterSchedule;
+use dcluster_sim::rng::hash64;
+
+/// Seeded randomized `(N,k,l)`-wcss of size `O((k+l)·l·k² log N)`, built
+/// exactly as in the Lemma 3 proof: round `i` first samples an *allowed*
+/// cluster set `C_i` (each cluster with probability `1/l`), then schedules
+/// each pair `(x, φ)` with `φ ∈ C_i` independently with probability `1/k`.
+///
+/// ```
+/// use dcluster_selectors::{RandomWcss, ClusterSchedule};
+/// let wcss = RandomWcss::new(1, 100, 3, 2, 1.0);
+/// // A pair transmits only in rounds where its cluster is allowed:
+/// let r = (0..wcss.len()).find(|&r| wcss.contains(r, 5, 1)).unwrap();
+/// assert!(wcss.cluster_allowed(r, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomWcss {
+    seed: u64,
+    len: u64,
+    k: usize,
+    l: usize,
+}
+
+impl RandomWcss {
+    /// Creates a family with an explicit number of rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `l == 0` or `len == 0`.
+    pub fn with_len(seed: u64, k: usize, l: usize, len: u64) -> Self {
+        assert!(k > 0 && l > 0 && len > 0, "RandomWcss requires k, l, len ≥ 1");
+        Self { seed, len, k, l }
+    }
+
+    /// Creates a family of [`RandomWcss::recommended_len`] rounds scaled by
+    /// `factor`.
+    pub fn new(seed: u64, n_univ: u64, k: usize, l: usize, factor: f64) -> Self {
+        let len =
+            ((Self::recommended_len(n_univ, k, l) as f64 * factor).ceil() as u64).max(1);
+        Self::with_len(seed, k, l, len)
+    }
+
+    /// Theory length `3e²·l·k²·(k+l+3)·ln(N+1) = O((k+l)·l·k² log N)` —
+    /// the Lemma 3 bound with the constants of its proof
+    /// (`p = Ω(1/(l·k²))`, `|T| < N^{k+l+3}`).
+    pub fn recommended_len(n_univ: u64, k: usize, l: usize) -> u64 {
+        let kf = k as f64;
+        let lf = l as f64;
+        let ln_n = ((n_univ + 1) as f64).ln().max(1.0);
+        let e2 = std::f64::consts::E * std::f64::consts::E;
+        (3.0 * e2 * lf * kf * kf * (kf + lf + 3.0) * ln_n).ceil() as u64
+    }
+
+    /// Whether cluster `cluster` is in the allowed set `C_i` of round
+    /// `round` (probability `1/l` per the construction). A round is *free*
+    /// of a cluster iff the cluster is not allowed.
+    #[inline]
+    pub fn cluster_allowed(&self, round: u64, cluster: u64) -> bool {
+        let h = hash64(self.seed ^ 0xC1_05_7E_2, &[round, cluster]);
+        (h as u128 * self.l as u128) >> 64 == 0
+    }
+
+    /// Set-size bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Conflict bound `l`.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+}
+
+impl ClusterSchedule for RandomWcss {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    #[inline]
+    fn contains(&self, round: u64, id: u64, cluster: u64) -> bool {
+        if !self.cluster_allowed(round, cluster) {
+            return false;
+        }
+        let h = hash64(self.seed ^ 0x5743_5353, &[round, id, cluster]);
+        (h as u128 * self.k as u128) >> 64 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use dcluster_sim::rng::Rng64;
+
+    #[test]
+    fn wcss_property_holds_at_theory_length() {
+        let mut rng = Rng64::new(21);
+        let n_univ = 120u64;
+        let (k, l) = (2usize, 2usize);
+        let wcss = RandomWcss::new(33, n_univ, k, l, 1.0);
+        for trial in 0..10 {
+            let phi = 1 + rng.range_u64(10);
+            let conflicts: Vec<u64> =
+                (0..l as u64).map(|i| 20 + i + 10 * rng.range_u64(3)).collect();
+            assert!(!conflicts.contains(&phi));
+            let mut ids = rng.sample_distinct(n_univ, k + 1);
+            for v in &mut ids {
+                *v += 1;
+            }
+            let y = ids.pop().unwrap();
+            assert!(
+                verify::is_wcss_for(&wcss, &ids, y, phi, &conflicts),
+                "trial {trial}: wcss failed for X={ids:?} y={y} phi={phi} C={conflicts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn members_only_transmit_in_allowed_rounds() {
+        let wcss = RandomWcss::new(2, 50, 3, 4, 0.5);
+        for r in 0..wcss.len() {
+            for id in 1..=10u64 {
+                for c in 1..=5u64 {
+                    if wcss.contains(r, id, c) {
+                        assert!(wcss.cluster_allowed(r, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allowed_rate_is_about_one_over_l() {
+        let wcss = RandomWcss::with_len(4, 3, 5, 20_000);
+        let hits =
+            (0..wcss.len()).filter(|&r| wcss.cluster_allowed(r, 7)).count() as f64;
+        let rate = hits / 20_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "allowed rate {rate} ≠ 1/5");
+    }
+
+    #[test]
+    fn conflicting_cluster_blocks_rounds() {
+        // Free rounds for cluster 1 must exclude cluster 2's members.
+        let wcss = RandomWcss::new(5, 60, 2, 2, 0.3);
+        let mut free_rounds = 0;
+        for r in 0..wcss.len() {
+            if !wcss.cluster_allowed(r, 2) {
+                free_rounds += 1;
+                for id in 1..=20 {
+                    assert!(!wcss.contains(r, id, 2));
+                }
+            }
+        }
+        assert!(free_rounds > 0, "some rounds must be free of cluster 2");
+    }
+
+    #[test]
+    fn recommended_len_grows_with_l() {
+        assert!(
+            RandomWcss::recommended_len(1000, 4, 8) > RandomWcss::recommended_len(1000, 4, 2)
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Synchronous round execution engine.
+//!
+//! The paper's model (§1.1): algorithms work in synchronous rounds; in each
+//! round a node either transmits or listens, receptions are resolved by the
+//! SINR rule, and nodes perform local computation. [`RoundBehavior`] is the
+//! protocol interface; the [`Engine`] drives it against a [`Network`].
+//!
+//! **Locality discipline.** A behavior's `transmit` decision for node `v`
+//! must depend only on `v`'s own state, `v`'s id/parameters, and the current
+//! round number (which is global knowledge in the synchronous model);
+//! `receive` is the only channel through which information crosses nodes.
+//! Behaviors in this workspace keep per-node state in indexed vectors and
+//! touch only the entry of the node passed in.
+
+use crate::network::Network;
+use crate::radio::{Radio, Reception};
+
+/// A synchronous per-node protocol executed by the [`Engine`].
+///
+/// `M` is the message type; the model limits messages to `O(log N)` bits,
+/// so message types carry a constant number of IDs/labels.
+pub trait RoundBehavior<M> {
+    /// Decides whether node `node` transmits in `round`, and with what
+    /// message. Returning `None` means the node listens.
+    fn transmit(&mut self, net: &Network, node: usize, round: u64) -> Option<M>;
+
+    /// Delivers a message received by `node` in `round` from `sender`.
+    fn receive(&mut self, net: &Network, node: usize, round: u64, sender: usize, msg: &M);
+
+    /// Hook invoked once per round after all deliveries (optional).
+    fn end_round(&mut self, _net: &Network, _round: u64) {}
+}
+
+/// Cumulative execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total transmissions (≈ energy).
+    pub transmissions: u64,
+    /// Total successful receptions.
+    pub receptions: u64,
+}
+
+/// Drives [`RoundBehavior`]s over a network, maintaining a global round
+/// counter across sequential protocol stages (deterministic protocols are
+/// time-multiplexed by round number, so the counter must persist).
+#[derive(Debug)]
+pub struct Engine<'n> {
+    net: &'n Network,
+    radio: Radio,
+    round: u64,
+    stats: EngineStats,
+    tx_nodes: Vec<usize>,
+    tx_msgs_scratch: usize,
+}
+
+impl<'n> Engine<'n> {
+    /// Creates an engine over `net` starting at round 0.
+    pub fn new(net: &'n Network) -> Self {
+        Self {
+            net,
+            radio: Radio::new(),
+            round: 0,
+            stats: EngineStats::default(),
+            tx_nodes: Vec::new(),
+            tx_msgs_scratch: 0,
+        }
+    }
+
+    /// The network being simulated.
+    pub fn network(&self) -> &'n Network {
+        self.net
+    }
+
+    /// Current global round number (next round to execute).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Runs `rounds` rounds of `behavior`. Returns the receptions of the
+    /// *last* executed round (occasionally useful for single-round probes).
+    pub fn run<M, B>(&mut self, behavior: &mut B, rounds: u64) -> Vec<Reception>
+    where
+        B: RoundBehavior<M> + ?Sized,
+    {
+        let mut last = Vec::new();
+        for _ in 0..rounds {
+            last = self.step(behavior);
+        }
+        last
+    }
+
+    /// Executes a single round; returns its receptions.
+    pub fn step<M, B>(&mut self, behavior: &mut B) -> Vec<Reception>
+    where
+        B: RoundBehavior<M> + ?Sized,
+    {
+        let round = self.round;
+        self.tx_nodes.clear();
+        let mut msgs: Vec<M> = Vec::with_capacity(self.tx_msgs_scratch);
+        for v in 0..self.net.len() {
+            if let Some(m) = behavior.transmit(self.net, v, round) {
+                self.tx_nodes.push(v);
+                msgs.push(m);
+            }
+        }
+        self.tx_msgs_scratch = msgs.len();
+        let receptions = self.radio.resolve(self.net, &self.tx_nodes);
+        for r in &receptions {
+            behavior.receive(self.net, r.receiver, round, r.sender, &msgs[r.slot]);
+        }
+        behavior.end_round(self.net, round);
+        self.stats.rounds += 1;
+        self.stats.transmissions += self.tx_nodes.len() as u64;
+        self.stats.receptions += receptions.len() as u64;
+        self.round += 1;
+        receptions
+    }
+
+    /// Runs `behavior` until `done` returns true or `max_rounds` elapse;
+    /// returns the number of rounds executed in this call.
+    ///
+    /// The `done` predicate is a *harness* (observer) facility — e.g. "stop
+    /// simulating once every node is awake"; per-node behavior must not rely
+    /// on it.
+    pub fn run_until<M, B, F>(&mut self, behavior: &mut B, max_rounds: u64, mut done: F) -> u64
+    where
+        B: RoundBehavior<M> + ?Sized,
+        F: FnMut(&B) -> bool,
+    {
+        let start = self.round;
+        while self.round - start < max_rounds {
+            if done(behavior) {
+                break;
+            }
+            self.step(behavior);
+        }
+        self.round - start
+    }
+}
+
+/// A behavior defined by closures — handy for tests and tiny protocols.
+pub struct FnBehavior<T, R> {
+    /// Transmit decision closure.
+    pub tx: T,
+    /// Reception handler closure.
+    pub rx: R,
+}
+
+impl<M, T, R> RoundBehavior<M> for FnBehavior<T, R>
+where
+    T: FnMut(&Network, usize, u64) -> Option<M>,
+    R: FnMut(&Network, usize, u64, usize, &M),
+{
+    fn transmit(&mut self, net: &Network, node: usize, round: u64) -> Option<M> {
+        (self.tx)(net, node, round)
+    }
+    fn receive(&mut self, net: &Network, node: usize, round: u64, sender: usize, msg: &M) {
+        (self.rx)(net, node, round, sender, msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn line(n: usize, spacing: f64) -> Network {
+        let pts: Vec<Point> = (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect();
+        Network::builder(pts).build().unwrap()
+    }
+
+    #[test]
+    fn round_robin_flood_crosses_a_line() {
+        // Node i transmits in rounds ≡ i (mod n) once it knows the token.
+        let net = line(5, 0.7);
+        let n = net.len();
+        let mut knows = vec![false; n];
+        knows[0] = true;
+        let mut engine = Engine::new(&net);
+        // Can't borrow `knows` in both closures at once; use a tiny struct.
+        struct Flood {
+            knows: Vec<bool>,
+        }
+        impl RoundBehavior<u8> for Flood {
+            fn transmit(&mut self, net: &Network, v: usize, round: u64) -> Option<u8> {
+                (self.knows[v] && round % net.len() as u64 == v as u64).then_some(1)
+            }
+            fn receive(&mut self, _net: &Network, v: usize, _r: u64, _s: usize, _m: &u8) {
+                self.knows[v] = true;
+            }
+        }
+        let mut flood = Flood { knows };
+        let used = engine.run_until(&mut flood, 1000, |b| b.knows.iter().all(|&k| k));
+        assert!(flood.knows.iter().all(|&k| k), "token reached everyone");
+        assert!(used <= 5 * 5, "at most n rounds per hop, got {used}");
+        assert_eq!(engine.stats().rounds, used);
+    }
+
+    #[test]
+    fn engine_counts_transmissions_and_receptions() {
+        let net = line(2, 0.5);
+        let mut engine = Engine::new(&net);
+        let mut b = FnBehavior {
+            tx: |_: &Network, v: usize, _: u64| (v == 0).then_some(42u32),
+            rx: |_: &Network, _: usize, _: u64, _: usize, m: &u32| assert_eq!(*m, 42),
+        };
+        engine.run(&mut b, 3);
+        let s = engine.stats();
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.transmissions, 3);
+        assert_eq!(s.receptions, 3);
+        assert_eq!(engine.round(), 3);
+    }
+
+    #[test]
+    fn run_until_stops_immediately_when_done() {
+        let net = line(2, 0.5);
+        let mut engine = Engine::new(&net);
+        let mut b = FnBehavior {
+            tx: |_: &Network, _: usize, _: u64| None::<u8>,
+            rx: |_: &Network, _: usize, _: u64, _: usize, _: &u8| {},
+        };
+        let used = engine.run_until(&mut b, 100, |_| true);
+        assert_eq!(used, 0);
+    }
+}

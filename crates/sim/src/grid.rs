@@ -1,0 +1,234 @@
+//! Uniform spatial hash grid.
+//!
+//! All geometric queries in the simulator (communication-graph construction,
+//! density estimation, nearest-transmitter search in the SINR resolver) go
+//! through this index. Cells have a fixed side length; a disk query of radius
+//! `r` touches `O((r/cell)²)` cells.
+
+use crate::point::Point;
+use std::collections::HashMap;
+
+/// A uniform grid over a set of points, mapping cells to point indices.
+///
+/// ```
+/// use dcluster_sim::{Grid, Point};
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.5), Point::new(3.0, 3.0)];
+/// let grid = Grid::build(&pts, 1.0);
+/// let near: Vec<usize> = grid.within(&pts, Point::new(0.0, 0.0), 1.0).collect();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Grid {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<u32>>,
+}
+
+impl Grid {
+    /// Builds a grid with the given cell side length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive and finite.
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "grid cell size must be positive");
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells.entry(Self::key(p, cell)).or_default().push(i as u32);
+        }
+        Self { cell, cells }
+    }
+
+    /// Builds a grid over a *subset* of the points (e.g. this round's
+    /// transmitters); stored indices refer to the original slice.
+    pub fn build_subset(points: &[Point], subset: &[usize], cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "grid cell size must be positive");
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for &i in subset {
+            cells.entry(Self::key(&points[i], cell)).or_default().push(i as u32);
+        }
+        Self { cell, cells }
+    }
+
+    #[inline]
+    fn key(p: &Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Cell side length.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Iterates indices of stored points within distance `r` of `center`
+    /// (closed ball), in unspecified order.
+    pub fn within<'a>(
+        &'a self,
+        points: &'a [Point],
+        center: Point,
+        r: f64,
+    ) -> impl Iterator<Item = usize> + 'a {
+        let r_sq = r * r;
+        self.candidate_cells(center, r).flat_map(move |ids| ids.iter().copied()).filter_map(
+            move |i| {
+                let i = i as usize;
+                (points[i].dist_sq(center) <= r_sq).then_some(i)
+            },
+        )
+    }
+
+    /// Counts stored points within distance `r` of `center`.
+    pub fn count_within(&self, points: &[Point], center: Point, r: f64) -> usize {
+        self.within(points, center, r).count()
+    }
+
+    /// Returns the two smallest distances from `center` to stored points
+    /// within radius `r`, together with the index of the closest point:
+    /// `(nearest_idx, d_nearest, d_second)`. `d_second` is `f64::INFINITY`
+    /// if fewer than two points are in range. Points at distance 0 (the
+    /// querying node itself, if stored) can be excluded via `exclude`.
+    pub fn two_nearest_within(
+        &self,
+        points: &[Point],
+        center: Point,
+        r: f64,
+        exclude: Option<usize>,
+    ) -> Option<(usize, f64, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut second = f64::INFINITY;
+        let r_sq = r * r;
+        for ids in self.candidate_cells(center, r) {
+            for &i in ids {
+                let i = i as usize;
+                if Some(i) == exclude {
+                    continue;
+                }
+                let d2 = points[i].dist_sq(center);
+                if d2 > r_sq {
+                    continue;
+                }
+                match best {
+                    None => best = Some((i, d2)),
+                    Some((_, b2)) if d2 < b2 => {
+                        second = b2;
+                        best = Some((i, d2));
+                    }
+                    Some(_) => {
+                        if d2 < second {
+                            second = d2;
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, d2)| (i, d2.sqrt(), second.sqrt()))
+    }
+
+    fn candidate_cells(&self, center: Point, r: f64) -> impl Iterator<Item = &Vec<u32>> + '_ {
+        let lo_x = ((center.x - r) / self.cell).floor() as i64;
+        let hi_x = ((center.x + r) / self.cell).floor() as i64;
+        let lo_y = ((center.y - r) / self.cell).floor() as i64;
+        let hi_y = ((center.y + r) / self.cell).floor() as i64;
+        (lo_x..=hi_x)
+            .flat_map(move |cx| (lo_y..=hi_y).map(move |cy| (cx, cy)))
+            .filter_map(move |k| self.cells.get(&k))
+    }
+
+    /// Number of non-empty cells (diagnostics).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    fn brute_within(points: &[Point], c: Point, r: f64) -> Vec<usize> {
+        let mut v: Vec<usize> =
+            (0..points.len()).filter(|&i| points[i].dist(c) <= r).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn within_matches_brute_force_on_random_clouds() {
+        let mut rng = Rng64::new(42);
+        for trial in 0..20 {
+            let n = 50 + trial * 13;
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.range_f64(-5.0, 5.0), rng.range_f64(-5.0, 5.0)))
+                .collect();
+            let grid = Grid::build(&pts, 0.7);
+            for _ in 0..10 {
+                let c = Point::new(rng.range_f64(-5.0, 5.0), rng.range_f64(-5.0, 5.0));
+                let r = rng.range_f64(0.1, 3.0);
+                let mut got: Vec<usize> = grid.within(&pts, c, r).collect();
+                got.sort_unstable();
+                assert_eq!(got, brute_within(&pts, c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn two_nearest_matches_brute_force() {
+        let mut rng = Rng64::new(7);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.range_f64(0.0, 4.0), rng.range_f64(0.0, 4.0)))
+            .collect();
+        let grid = Grid::build(&pts, 0.5);
+        for _ in 0..50 {
+            let c = Point::new(rng.range_f64(0.0, 4.0), rng.range_f64(0.0, 4.0));
+            let r = 1.5;
+            let mut ds: Vec<(f64, usize)> = (0..pts.len())
+                .map(|i| (pts[i].dist(c), i))
+                .filter(|&(d, _)| d <= r)
+                .collect();
+            ds.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let got = grid.two_nearest_within(&pts, c, r, None);
+            match ds.len() {
+                0 => assert!(got.is_none()),
+                1 => {
+                    let (i, d1, d2) = got.unwrap();
+                    assert_eq!(i, ds[0].1);
+                    assert!((d1 - ds[0].0).abs() < 1e-12);
+                    assert!(d2.is_infinite());
+                }
+                _ => {
+                    let (i, d1, d2) = got.unwrap();
+                    assert_eq!(i, ds[0].1);
+                    assert!((d1 - ds[0].0).abs() < 1e-12);
+                    assert!((d2 - ds[1].0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_grid_only_sees_subset() {
+        let pts =
+            vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0), Point::new(0.2, 0.0)];
+        let grid = Grid::build_subset(&pts, &[0, 2], 1.0);
+        let got: Vec<usize> = grid.within(&pts, Point::ORIGIN, 1.0).collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&0) && got.contains(&2));
+    }
+
+    #[test]
+    fn exclude_skips_self() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)];
+        let grid = Grid::build(&pts, 1.0);
+        let (i, d, _) = grid
+            .two_nearest_within(&pts, pts[0], 1.0, Some(0))
+            .expect("neighbor in range");
+        assert_eq!(i, 1);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_coordinates_are_handled() {
+        let pts = vec![Point::new(-0.01, -0.01), Point::new(0.01, 0.01)];
+        let grid = Grid::build(&pts, 1.0);
+        assert_eq!(grid.count_within(&pts, Point::ORIGIN, 0.1), 2);
+    }
+}

@@ -1,0 +1,331 @@
+//! Static description of a deployed wireless network.
+
+use crate::graph::Graph;
+use crate::grid::Grid;
+use crate::point::Point;
+use crate::SinrParams;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error building a [`Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The deployment contains no nodes.
+    Empty,
+    /// Two nodes share the same identifier.
+    DuplicateId(u64),
+    /// An identifier is zero or exceeds `max_id` (IDs live in `[1, N]`).
+    IdOutOfRange(u64),
+    /// `ids` and `points` have different lengths.
+    LengthMismatch {
+        /// Number of deployment points.
+        points: usize,
+        /// Number of identifiers supplied.
+        ids: usize,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::Empty => write!(f, "deployment contains no nodes"),
+            NetworkError::DuplicateId(id) => write!(f, "duplicate node id {id}"),
+            NetworkError::IdOutOfRange(id) => {
+                write!(f, "node id {id} outside the allowed range [1, N]")
+            }
+            NetworkError::LengthMismatch { points, ids } => {
+                write!(f, "{points} points but {ids} ids")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// An immutable deployed network: node positions, identifiers in `[1, N]`
+/// (the paper's ID space with `N = n^{O(1)}`), SINR parameters, and cached
+/// geometric structures (spatial grid, communication graph).
+///
+/// Nodes are referred to by *index* (`0..n`) internally; messages and
+/// transmission schedules use the paper *IDs*. [`Network::id`] and
+/// [`Network::index_of`] translate.
+#[derive(Debug, Clone)]
+pub struct Network {
+    points: Vec<Point>,
+    ids: Vec<u64>,
+    max_id: u64,
+    params: SinrParams,
+    grid: Grid,
+    comm: Graph,
+    id_to_idx: HashMap<u64, usize>,
+}
+
+impl Network {
+    /// Starts building a network over the given positions.
+    pub fn builder(points: Vec<Point>) -> NetworkBuilder {
+        NetworkBuilder { points, ids: None, max_id: None, params: SinrParams::default(), seed: 0 }
+    }
+
+    /// Number of nodes `n`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff the network has no nodes (builders reject this, so `false`
+    /// for any constructed network).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Position of node `v` (by index).
+    #[inline]
+    pub fn pos(&self, v: usize) -> Point {
+        self.points[v]
+    }
+
+    /// All positions, indexable by node index.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Paper ID of node `v` (in `[1, N]`).
+    #[inline]
+    pub fn id(&self, v: usize) -> u64 {
+        self.ids[v]
+    }
+
+    /// All ids, indexable by node index.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Index of the node with paper ID `id`, if present.
+    pub fn index_of(&self, id: u64) -> Option<usize> {
+        self.id_to_idx.get(&id).copied()
+    }
+
+    /// The ID-space bound `N` (all IDs are ≤ `N`; schedules are built over
+    /// `[N]`).
+    pub fn max_id(&self) -> u64 {
+        self.max_id
+    }
+
+    /// SINR model parameters.
+    pub fn params(&self) -> &SinrParams {
+        &self.params
+    }
+
+    /// Spatial index over all nodes (cell size = transmission range).
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The communication graph: edges between nodes at distance ≤
+    /// `range·(1−ε)` (paper §1.1).
+    pub fn comm_graph(&self) -> &Graph {
+        &self.comm
+    }
+
+    /// Nodes within distance `r` of node `v` **excluding** `v` itself.
+    pub fn neighbors_within(&self, v: usize, r: f64) -> Vec<usize> {
+        self.grid.within(&self.points, self.points[v], r).filter(|&u| u != v).collect()
+    }
+
+    /// Network density Γ: the largest number of nodes in a unit ball
+    /// (radius = transmission range), measured over balls centered at nodes.
+    ///
+    /// Any unit ball containing `m` nodes yields a node-centered ball of
+    /// radius 2 containing those `m` nodes, so node-centered measurements
+    /// bound the true density within a constant factor (Fact 1 of the paper
+    /// ties density and communication-graph degree the same way).
+    pub fn density(&self) -> usize {
+        let r = self.params.range();
+        (0..self.len())
+            .map(|v| self.grid.count_within(&self.points, self.points[v], r))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum communication-graph degree ∆.
+    pub fn max_degree(&self) -> usize {
+        self.comm.max_degree()
+    }
+}
+
+/// Builder for [`Network`] (see [`Network::builder`]).
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    points: Vec<Point>,
+    ids: Option<Vec<u64>>,
+    max_id: Option<u64>,
+    params: SinrParams,
+    seed: u64,
+}
+
+impl NetworkBuilder {
+    /// Sets SINR parameters (default: [`SinrParams::default`]).
+    pub fn params(mut self, params: SinrParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets explicit node IDs (must be distinct, in `[1, max_id]`).
+    pub fn ids(mut self, ids: Vec<u64>) -> Self {
+        self.ids = Some(ids);
+        self
+    }
+
+    /// Sets the ID-space bound `N` (default: `max(4, n²)` when IDs are
+    /// auto-assigned, or the largest explicit ID).
+    pub fn max_id(mut self, max_id: u64) -> Self {
+        self.max_id = Some(max_id);
+        self
+    }
+
+    /// Seed used when auto-assigning random distinct IDs; `seed = 0` assigns
+    /// the deterministic sequence `1..=n` instead.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if the deployment is empty, IDs are
+    /// duplicated/out of range, or lengths mismatch.
+    pub fn build(self) -> Result<Network, NetworkError> {
+        let n = self.points.len();
+        if n == 0 {
+            return Err(NetworkError::Empty);
+        }
+        let max_id = self.max_id.unwrap_or_else(|| {
+            self.ids
+                .as_ref()
+                .map(|ids| ids.iter().copied().max().unwrap_or(0))
+                .unwrap_or((n as u64 * n as u64).max(4))
+        });
+        let ids = match self.ids {
+            Some(ids) => {
+                if ids.len() != n {
+                    return Err(NetworkError::LengthMismatch { points: n, ids: ids.len() });
+                }
+                ids
+            }
+            None if self.seed == 0 => (1..=n as u64).collect(),
+            None => {
+                let mut rng = crate::rng::Rng64::new(self.seed);
+                rng.sample_distinct(max_id, n).into_iter().map(|v| v + 1).collect()
+            }
+        };
+        let mut id_to_idx = HashMap::with_capacity(n);
+        for (i, &id) in ids.iter().enumerate() {
+            if id == 0 || id > max_id.max(ids.len() as u64) {
+                return Err(NetworkError::IdOutOfRange(id));
+            }
+            if id_to_idx.insert(id, i).is_some() {
+                return Err(NetworkError::DuplicateId(id));
+            }
+        }
+        let range = self.params.range();
+        let grid = Grid::build(&self.points, range);
+        let comm_r = self.params.comm_radius();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n {
+            for u in grid.within(&self.points, self.points[v], comm_r) {
+                if u != v {
+                    adj[v].push(u as u32);
+                }
+            }
+            adj[v].sort_unstable();
+        }
+        Ok(Network {
+            points: self.points,
+            ids,
+            max_id: max_id.max(n as u64),
+            params: self.params,
+            grid,
+            comm: Graph::from_adjacency(adj),
+            id_to_idx,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(n_side: usize, spacing: f64) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                pts.push(Point::new(i as f64 * spacing, j as f64 * spacing));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn build_assigns_sequential_ids_by_default() {
+        let net = Network::builder(square(3, 0.5)).build().unwrap();
+        assert_eq!(net.len(), 9);
+        assert_eq!(net.id(0), 1);
+        assert_eq!(net.id(8), 9);
+        assert_eq!(net.index_of(5), Some(4));
+        assert_eq!(net.index_of(100), None);
+    }
+
+    #[test]
+    fn random_ids_are_distinct_and_in_range() {
+        let net = Network::builder(square(4, 0.5)).seed(99).max_id(1000).build().unwrap();
+        let mut ids = net.ids().to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 16);
+        assert!(ids.iter().all(|&i| (1..=1000).contains(&i)));
+    }
+
+    #[test]
+    fn comm_graph_uses_one_minus_epsilon_radius() {
+        // Two nodes at distance 0.85 with ε=0.2 (comm radius 0.8): no edge,
+        // but at 0.75: edge.
+        let near = Network::builder(vec![Point::new(0.0, 0.0), Point::new(0.75, 0.0)])
+            .build()
+            .unwrap();
+        assert_eq!(near.comm_graph().degree(0), 1);
+        let far = Network::builder(vec![Point::new(0.0, 0.0), Point::new(0.85, 0.0)])
+            .build()
+            .unwrap();
+        assert_eq!(far.comm_graph().degree(0), 0);
+    }
+
+    #[test]
+    fn density_counts_unit_ball_population() {
+        // 5 nodes clustered within 0.1, one far away.
+        let mut pts: Vec<Point> = (0..5).map(|i| Point::new(0.01 * i as f64, 0.0)).collect();
+        pts.push(Point::new(10.0, 10.0));
+        let net = Network::builder(pts).build().unwrap();
+        assert_eq!(net.density(), 5);
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let err = Network::builder(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)])
+            .ids(vec![3, 3])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, NetworkError::DuplicateId(3));
+    }
+
+    #[test]
+    fn empty_deployment_is_rejected() {
+        assert_eq!(Network::builder(vec![]).build().unwrap_err(), NetworkError::Empty);
+    }
+
+    #[test]
+    fn zero_id_is_rejected() {
+        let err = Network::builder(vec![Point::new(0.0, 0.0)]).ids(vec![0]).build().unwrap_err();
+        assert_eq!(err, NetworkError::IdOutOfRange(0));
+    }
+}

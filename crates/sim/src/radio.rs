@@ -1,0 +1,288 @@
+//! SINR reception resolution — the paper's Eq. (1).
+//!
+//! Given the set `T` of nodes transmitting in a round, node `u` (which must
+//! itself be silent: half-duplex) receives the message of `v ∈ T` iff
+//!
+//! ```text
+//! SINR(v, u, T) = signal(d(v,u)) / (noise + Σ_{w ∈ T, w≠v} signal(d(w,u))) ≥ β.
+//! ```
+//!
+//! Because `β > 1`, at most one transmitter can be decoded by any receiver,
+//! and it is necessarily the one with the strongest signal (the nearest,
+//! under uniform power). The fast resolver exploits two exact facts:
+//!
+//! 1. a decodable transmitter lies within the transmission range
+//!    (`signal(d) ≥ β·noise` is necessary), so candidate receivers are found
+//!    with a grid query of radius `range`;
+//! 2. the second-nearest transmitter alone already contributes
+//!    `signal(d₂)` interference, so if
+//!    `signal(d₁)/(noise + signal(d₂)) < β` the receiver can be skipped
+//!    without summing the remaining interference.
+//!
+//! The full interference sum (over *all* transmitters, arbitrarily far away)
+//! is computed exactly for every receiver that survives the short-circuit,
+//! so the fast resolver returns **exactly** the same receptions as the naive
+//! one — a property the test-suite checks on random instances.
+
+use crate::grid::Grid;
+use crate::network::Network;
+
+/// A successful reception in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reception {
+    /// Receiving node (index).
+    pub receiver: usize,
+    /// Transmitting node (index).
+    pub sender: usize,
+    /// Position of `sender` in the round's transmitter slice (lets callers
+    /// look up the transmitted message without a search).
+    pub slot: usize,
+}
+
+/// Reusable SINR resolver (holds scratch allocations).
+#[derive(Debug, Default)]
+pub struct Radio {
+    is_tx: Vec<bool>,
+    slot_of: Vec<u32>,
+}
+
+impl Radio {
+    /// Creates a resolver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves all receptions for the round where exactly the nodes in
+    /// `transmitters` transmit. Equivalent to [`Radio::resolve_naive`].
+    pub fn resolve(&mut self, net: &Network, transmitters: &[usize]) -> Vec<Reception> {
+        let n = net.len();
+        if transmitters.is_empty() {
+            return Vec::new();
+        }
+        let p = net.params();
+        let range = p.range();
+        self.is_tx.clear();
+        self.is_tx.resize(n, false);
+        self.slot_of.clear();
+        self.slot_of.resize(n, u32::MAX);
+        for (slot, &t) in transmitters.iter().enumerate() {
+            debug_assert!(!self.is_tx[t], "node {t} listed twice as transmitter");
+            self.is_tx[t] = true;
+            self.slot_of[t] = slot as u32;
+        }
+        let tx_grid = Grid::build_subset(net.points(), transmitters, range);
+        let mut out = Vec::new();
+        for u in 0..n {
+            if self.is_tx[u] {
+                continue; // half-duplex: transmitters do not receive
+            }
+            let Some((v, d1, d2)) =
+                tx_grid.two_nearest_within(net.points(), net.pos(u), range, None)
+            else {
+                continue;
+            };
+            let s1 = p.signal(d1);
+            // Short-circuit: interference ≥ signal(d2) (d2 may be ∞ ⇒ 0).
+            let i_low = if d2.is_finite() { p.signal(d2) } else { 0.0 };
+            if s1 < p.beta * (p.noise + i_low) {
+                continue;
+            }
+            // Exact check with total interference over all transmitters.
+            let mut interference = -s1; // subtract sender's own signal below
+            for &w in transmitters {
+                interference += p.signal(net.pos(w).dist(net.pos(u)));
+            }
+            if s1 >= p.beta * (p.noise + interference) {
+                out.push(Reception { receiver: u, sender: v, slot: self.slot_of[v] as usize });
+            }
+        }
+        out
+    }
+
+    /// Reference resolver: O(n·|T|), no geometric shortcuts. Used by tests
+    /// and available for auditing.
+    pub fn resolve_naive(net: &Network, transmitters: &[usize]) -> Vec<Reception> {
+        let p = net.params();
+        let mut is_tx = vec![false; net.len()];
+        for &t in transmitters {
+            is_tx[t] = true;
+        }
+        let mut out = Vec::new();
+        for u in 0..net.len() {
+            if is_tx[u] {
+                continue;
+            }
+            let total: f64 =
+                transmitters.iter().map(|&w| p.signal(net.pos(w).dist(net.pos(u)))).sum();
+            let mut decoded: Option<(usize, usize)> = None;
+            for (slot, &v) in transmitters.iter().enumerate() {
+                let s = p.signal(net.pos(v).dist(net.pos(u)));
+                if s >= p.beta * (p.noise + (total - s)) {
+                    debug_assert!(decoded.is_none(), "beta > 1 forbids two decodable senders");
+                    decoded = Some((v, slot));
+                }
+            }
+            if let Some((v, slot)) = decoded {
+                out.push(Reception { receiver: u, sender: v, slot });
+            }
+        }
+        out
+    }
+}
+
+/// Total received power (noise excluded) at every node for a transmitter
+/// set — the quantity a **carrier-sensing** radio would measure. This is a
+/// *model feature* the paper's pure setting forbids; it exists here for
+/// the extension experiments (the paper's conclusion names carrier sensing
+/// as an open direction).
+pub fn sensed_power(net: &Network, transmitters: &[usize]) -> Vec<f64> {
+    let p = net.params();
+    (0..net.len())
+        .map(|u| {
+            transmitters
+                .iter()
+                .filter(|&&w| w != u)
+                .map(|&w| p.signal(net.pos(w).dist(net.pos(u))))
+                .sum()
+        })
+        .collect()
+}
+
+/// Computes `SINR(v, u, T)` literally per Eq. (1) of the paper (diagnostic
+/// helper; `v` must be in `transmitters`).
+pub fn sinr(net: &Network, v: usize, u: usize, transmitters: &[usize]) -> f64 {
+    let p = net.params();
+    debug_assert!(transmitters.contains(&v));
+    let s = p.signal(net.pos(v).dist(net.pos(u)));
+    let interference: f64 = transmitters
+        .iter()
+        .filter(|&&w| w != v)
+        .map(|&w| p.signal(net.pos(w).dist(net.pos(u))))
+        .sum();
+    s / (p.noise + interference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use crate::rng::Rng64;
+    use crate::SinrParams;
+
+    fn net_of(points: Vec<Point>) -> Network {
+        Network::builder(points).build().unwrap()
+    }
+
+    #[test]
+    fn lone_transmitter_reaches_exactly_its_range() {
+        let net = net_of(vec![
+            Point::new(0.0, 0.0),  // transmitter
+            Point::new(0.999, 0.0), // inside range
+            Point::new(1.001, 0.0), // outside range
+        ]);
+        let got = Radio::new().resolve(&net, &[0]);
+        assert_eq!(got, vec![Reception { receiver: 1, sender: 0, slot: 0 }]);
+    }
+
+    #[test]
+    fn transmitters_do_not_receive() {
+        let net = net_of(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)]);
+        let got = Radio::new().resolve(&net, &[0, 1]);
+        assert!(got.is_empty(), "both nodes transmit, nobody listens");
+    }
+
+    #[test]
+    fn two_distant_transmitters_interfere_at_boundary() {
+        // Receiver at midpoint of two transmitters 1.8 apart: each signal
+        // arrives at distance 0.9; equal signals cannot beat beta > 1.
+        let net = net_of(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.8, 0.0),
+            Point::new(0.9, 0.0),
+        ]);
+        let got = Radio::new().resolve(&net, &[0, 1]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn close_transmitter_beats_distant_interferer() {
+        // Sender 0.1 from receiver, interferer 1.9 away: SINR is huge.
+        let net = net_of(vec![
+            Point::new(0.0, 0.0),  // sender
+            Point::new(2.0, 0.0),  // interferer
+            Point::new(0.1, 0.0),  // receiver
+        ]);
+        let got = Radio::new().resolve(&net, &[0, 1]);
+        assert_eq!(got, vec![Reception { receiver: 2, sender: 0, slot: 0 }]);
+    }
+
+    #[test]
+    fn sinr_matches_reception_threshold() {
+        let net = net_of(vec![Point::new(0.0, 0.0), Point::new(0.7, 0.0), Point::new(1.5, 0.0)]);
+        let tx = [0, 2];
+        let s = sinr(&net, 0, 1, &tx);
+        let received = Radio::new().resolve(&net, &tx).iter().any(|r| r.receiver == 1);
+        assert_eq!(received, s >= net.params().beta);
+    }
+
+    #[test]
+    fn fast_resolver_matches_naive_on_random_instances() {
+        let mut rng = Rng64::new(2024);
+        for trial in 0..30 {
+            let n = 20 + trial * 7;
+            let side = 4.0;
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.range_f64(0.0, side), rng.range_f64(0.0, side)))
+                .collect();
+            let net = Network::builder(pts)
+                .params(SinrParams::normalized(2.5 + rng.next_f64() * 2.0, 1.2 + rng.next_f64(), 1.0, 0.2))
+                .build()
+                .unwrap();
+            let k = 1 + rng.range_usize(n);
+            let mut all: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut all);
+            all.truncate(k);
+            let mut fast = Radio::new().resolve(&net, &all);
+            let mut naive = Radio::resolve_naive(&net, &all);
+            fast.sort_by_key(|r| r.receiver);
+            naive.sort_by_key(|r| r.receiver);
+            assert_eq!(fast, naive, "trial {trial}: fast and naive resolvers disagree");
+        }
+    }
+
+    #[test]
+    fn at_most_one_sender_decoded_per_receiver() {
+        let mut rng = Rng64::new(7);
+        let pts: Vec<Point> = (0..120)
+            .map(|_| Point::new(rng.range_f64(0.0, 3.0), rng.range_f64(0.0, 3.0)))
+            .collect();
+        let net = net_of(pts);
+        let tx: Vec<usize> = (0..120).filter(|_| rng.chance(0.3)).collect();
+        let rec = Radio::new().resolve(&net, &tx);
+        let mut seen = std::collections::HashSet::new();
+        for r in &rec {
+            assert!(seen.insert(r.receiver), "receiver {} decoded twice", r.receiver);
+            assert_eq!(tx[r.slot], r.sender, "slot must index the sender");
+        }
+    }
+
+    #[test]
+    fn empty_transmitter_set_yields_no_receptions() {
+        let net = net_of(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)]);
+        assert!(Radio::new().resolve(&net, &[]).is_empty());
+    }
+
+    #[test]
+    fn sensed_power_excludes_own_signal_and_decays() {
+        let net = net_of(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(2.0, 0.0),
+        ]);
+        let p = sensed_power(&net, &[0]);
+        assert_eq!(p[0], 0.0, "a node does not sense its own transmission");
+        assert!(p[1] > p[2], "closer listener senses more power");
+        let both = sensed_power(&net, &[0, 1]);
+        assert!(both[2] > p[2], "more transmitters, more power");
+    }
+}

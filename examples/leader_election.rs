@@ -1,0 +1,46 @@
+//! Wake-up + leader election (Theorems 4–5): scattered sensors activate
+//! spontaneously, wake the whole network, then elect a unique leader by
+//! binary search over ID ranges.
+//!
+//! ```sh
+//! cargo run --release --example leader_election
+//! ```
+
+use dcluster::prelude::*;
+
+fn main() {
+    let mut rng = Rng64::new(55);
+    let pts = deploy::corridor_with_spine(30, 6.0, 1.2, 0.5, &mut rng);
+    let net = Network::builder(pts).seed(3).max_id(10_000).build().expect("valid deployment");
+    println!(
+        "network: n = {}, Δ = {}, N (ID space) = {}",
+        net.len(),
+        net.max_degree(),
+        net.max_id()
+    );
+
+    // Theorem 4: three scattered nodes activate spontaneously.
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let spontaneous = vec![0, net.len() / 2, net.len() - 1];
+    let w = wakeup(&mut engine, &params, &mut seeds, &spontaneous, net.density());
+    println!(
+        "\nwake-up: {} spontaneous → everyone awake in {} rounds ({} centers)",
+        spontaneous.len(),
+        w.rounds,
+        w.centers
+    );
+    assert!(w.all_awake);
+
+    // Theorem 5: leader election over the whole network.
+    let mut seeds2 = SeedSeq::new(params.seed);
+    let mut engine2 = Engine::new(&net);
+    let le = leader_election(&mut engine2, &params, &mut seeds2, net.density());
+    println!(
+        "leader election: id {} elected in {} rounds ({} binary-search probes)",
+        le.leader_id, le.rounds, le.probes
+    );
+    let leader_idx = net.index_of(le.leader_id).expect("leader must exist");
+    println!("leader position: {}", net.pos(leader_idx));
+}

@@ -1,0 +1,59 @@
+//! Quickstart: deploy a sensor field, run the paper's clustering, inspect
+//! the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dcluster::prelude::*;
+
+fn main() {
+    // 60 sensors dropped uniformly over a 4×4 area (range = 1).
+    let mut rng = Rng64::new(2024);
+    let net = Network::builder(deploy::uniform_square(60, 4.0, &mut rng))
+        .build()
+        .expect("valid deployment");
+    println!(
+        "network: n = {}, density Γ = {}, max degree Δ = {}",
+        net.len(),
+        net.density(),
+        net.max_degree()
+    );
+
+    // Theorem 1: deterministic 1-clustering, no randomness, no GPS.
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let all: Vec<usize> = (0..net.len()).collect();
+    let cl = clustering(&mut engine, &params, &mut seeds, &all, net.density());
+
+    let report = check_clustering(&net, &cl.cluster_of);
+    println!(
+        "clustering: {} clusters in {} simulated rounds",
+        report.clusters, cl.rounds
+    );
+    println!(
+        "  max radius            : {:.3}  (paper: ≤ 1)",
+        report.max_radius
+    );
+    println!(
+        "  clusters per unit ball: {}      (paper: O(1))",
+        report.max_clusters_per_unit_ball
+    );
+    println!(
+        "  center separation     : {:.3}  (paper: ≥ 1−ε = {:.2})",
+        report.min_center_separation,
+        net.params().comm_radius()
+    );
+    assert_eq!(report.unassigned, 0, "every node must belong to a cluster");
+
+    // Show a few clusters.
+    let mut by_cluster: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+    for v in 0..net.len() {
+        by_cluster.entry(cl.cluster_of[v].unwrap()).or_default().push(v);
+    }
+    for (c, members) in by_cluster.iter().take(5) {
+        println!("  cluster {c}: {} nodes", members.len());
+    }
+    println!("ok.");
+}

@@ -1,0 +1,57 @@
+//! Sensor field neighbor discovery — the paper's motivating scenario
+//! (§1: "large sets of sensors distributed in an area of rescue operation
+//! or environment monitoring").
+//!
+//! Every sensor must announce itself to all neighbors (local broadcast)
+//! with no infrastructure, no GPS, no randomness. Compares this work
+//! against the randomized and feedback baselines on the same field.
+//!
+//! ```sh
+//! cargo run --release --example sensor_field
+//! ```
+
+use dcluster::baselines::local;
+use dcluster::prelude::*;
+
+fn main() {
+    // A hotspot-heavy field: three dense sensor clumps plus background.
+    let mut rng = Rng64::new(33);
+    let mut pts = deploy::gaussian_clusters(3, 15, 0.25, 5.0, &mut rng);
+    pts.extend(deploy::uniform_square(40, 5.0, &mut rng));
+    let net = Network::builder(pts).build().expect("valid deployment");
+    let delta = net.max_degree().max(1);
+    println!(
+        "sensor field: n = {}, Γ = {}, Δ = {}",
+        net.len(),
+        net.density(),
+        delta
+    );
+
+    // This work: deterministic local broadcast (Theorem 2).
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let ours = local_broadcast(&mut engine, &params, &mut seeds, net.density());
+    println!(
+        "\nTHIS WORK  : {} rounds, complete = {}, labels ≤ {}, clusters = {}",
+        ours.rounds,
+        ours.complete,
+        ours.labeling.max_label(),
+        ours.clustering.centers.len()
+    );
+    assert!(ours.complete);
+
+    // Randomized baseline (needs Δ and a random tape).
+    let gmw = local::gmw_known_delta(&net, delta, 7, 5_000_000);
+    println!("[16] rand  : {} rounds, complete = {}", gmw.rounds, gmw.complete);
+
+    // Feedback baseline (needs the feedback model feature).
+    let fb = local::feedback(&net, delta, local::FeedbackPreset::HalldorssonMitra, 7, 5_000_000);
+    println!("[19] fdbck : {} rounds, complete = {}", fb.rounds, fb.complete);
+
+    println!(
+        "\nThe paper's point: our deterministic time is only polylog away from \
+         these feature-assisted baselines — features don't substantially help \
+         locally."
+    );
+}

@@ -1,0 +1,64 @@
+//! # dcluster — deterministic digital clustering of wireless ad hoc networks
+//!
+//! A full reproduction of *Deterministic Digital Clustering of Wireless Ad
+//! Hoc Networks* (Jurdziński, Kowalski, Różański, Stachowiak — PODC 2018,
+//! arXiv:1708.08647): deterministic distributed clustering, local
+//! broadcast, global broadcast, wake-up and leader election in the SINR
+//! model **without** randomization, location information, carrier sensing
+//! or feedback — plus every substrate the paper relies on (SINR simulator,
+//! selector families, LOCAL MIS), every baseline of its comparison tables,
+//! and the Theorem 6 lower-bound gadget machinery.
+//!
+//! ## Crates
+//!
+//! * [`sim`] — SINR physical layer, synchronous engine, deployments.
+//! * [`selectors`] — ssf / wss / wcss / cover-free families.
+//! * [`core`] — the paper's algorithms (clustering, broadcasts, …).
+//! * [`baselines`] — Tables 1–2 competitor algorithms.
+//! * [`lowerbound`] — Theorem 6 gadgets and the Lemma 13 adversary.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dcluster::prelude::*;
+//!
+//! // Deploy 40 sensors uniformly on a 3×3 field.
+//! let mut rng = Rng64::new(7);
+//! let net = Network::builder(deploy::uniform_square(40, 3.0, &mut rng))
+//!     .build()
+//!     .expect("valid deployment");
+//!
+//! // Run the paper's Theorem 1 clustering.
+//! let params = ProtocolParams::practical();
+//! let mut seeds = SeedSeq::new(params.seed);
+//! let mut engine = Engine::new(&net);
+//! let all: Vec<usize> = (0..net.len()).collect();
+//! let clusters = clustering(&mut engine, &params, &mut seeds, &all, net.density());
+//!
+//! // Every node is in a cluster of radius ≤ 1 (the transmission range).
+//! let report = check_clustering(&net, &clusters.cluster_of);
+//! assert_eq!(report.unassigned, 0);
+//! assert!(report.max_radius <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dcluster_baselines as baselines;
+pub use dcluster_core as core;
+pub use dcluster_lowerbound as lowerbound;
+pub use dcluster_selectors as selectors;
+pub use dcluster_sim as sim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dcluster_core::check::{check_clustering, local_broadcast_complete};
+    pub use dcluster_core::clustering::clustering;
+    pub use dcluster_core::global_broadcast::{global_broadcast, sms_broadcast};
+    pub use dcluster_core::leader::leader_election;
+    pub use dcluster_core::local_broadcast::local_broadcast;
+    pub use dcluster_core::wakeup::wakeup;
+    pub use dcluster_core::{Msg, ProtocolParams, SeedSeq, Stack};
+    pub use dcluster_sim::rng::Rng64;
+    pub use dcluster_sim::{deploy, Engine, Network, Point, SinrParams};
+}

@@ -1,0 +1,87 @@
+//! Cross-crate comparison sanity: all Table 1/2 baselines complete on a
+//! shared workload, and the model-feature ordering the paper describes
+//! holds.
+
+use dcluster::baselines::{global, local};
+use dcluster::prelude::*;
+
+fn shared_field() -> Network {
+    let mut rng = Rng64::new(81);
+    Network::builder(deploy::uniform_square(50, 2.8, &mut rng)).build().unwrap()
+}
+
+#[test]
+fn all_local_baselines_complete_on_the_shared_field() {
+    let net = shared_field();
+    let delta = net.max_degree().max(1);
+    let cap = 3_000_000;
+    assert!(local::gmw_known_delta(&net, delta, 7, cap).complete);
+    assert!(local::gmw_unknown_delta(&net, 7, cap).complete);
+    assert!(local::yu_growth(&net, delta, 7, cap).complete);
+    assert!(local::feedback(&net, delta, local::FeedbackPreset::HalldorssonMitra, 7, cap)
+        .complete);
+    assert!(local::feedback(&net, delta, local::FeedbackPreset::BarenboimPeleg, 7, cap)
+        .complete);
+    assert!(local::location_grid(&net, delta, 4, 0.05).complete);
+}
+
+#[test]
+fn this_work_completes_on_the_shared_field_too() {
+    let net = shared_field();
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let out = local_broadcast(&mut engine, &params, &mut seeds, net.density());
+    assert!(out.complete);
+}
+
+#[test]
+fn all_global_baselines_cross_a_corridor() {
+    let mut rng = Rng64::new(82);
+    let pts = deploy::corridor_with_spine(25, 6.0, 1.0, 0.5, &mut rng);
+    let net = Network::builder(pts).build().unwrap();
+    let d = net.comm_graph().diameter().unwrap() as u64;
+    let delta = net.max_degree().max(2);
+    assert!(global::decay_flood(&net, 0, 3, 1_000_000).reached_all);
+    assert!(global::round_robin_flood(&net, 0, (d + 2) * net.max_id() + 1).reached_all);
+    assert!(global::location_grid_flood(&net, 0, delta, 4, 0.05, 3_000_000).reached_all);
+    assert!(global::ssf_flood(&net, 0, delta, 0.1, 3_000_000).reached_all);
+}
+
+#[test]
+fn randomized_global_beats_the_deterministic_sweep() {
+    // Table 2's message: with a big ID space, no-feature deterministic
+    // flooding pays Θ(D·N) while randomized decay pays D·polylog.
+    let mut rng = Rng64::new(83);
+    let pts = deploy::corridor_with_spine(25, 6.0, 1.0, 0.5, &mut rng);
+    let net = Network::builder(pts).max_id(5000).seed(4).build().unwrap();
+    let d = net.comm_graph().diameter().unwrap() as u64;
+    let decay = global::decay_flood(&net, 0, 3, 1_000_000);
+    let sweep = global::round_robin_flood(&net, 0, (d + 2) * net.max_id() + 1);
+    assert!(decay.reached_all && sweep.reached_all);
+    assert!(decay.rounds < sweep.rounds);
+}
+
+#[test]
+fn feedback_trades_energy_rate_for_time() {
+    // The feedback feature lets finished nodes leave while survivors ramp
+    // up: fewer rounds overall, and no more *total* transmissions than the
+    // rate-capped no-feedback baseline spends in its longer run.
+    let net = shared_field();
+    let delta = net.max_degree().max(1);
+    let fb = local::feedback(&net, delta, local::FeedbackPreset::HalldorssonMitra, 7, 3_000_000);
+    let nofb = local::gmw_known_delta(&net, delta, 7, 3_000_000);
+    assert!(fb.complete && nofb.complete);
+    assert!(
+        fb.rounds <= nofb.rounds,
+        "feedback ({}) must finish no later than plain GMW ({})",
+        fb.rounds,
+        nofb.rounds
+    );
+    assert!(
+        fb.transmissions <= nofb.transmissions * 3,
+        "feedback energy {} wildly above baseline {}",
+        fb.transmissions,
+        nofb.transmissions
+    );
+}

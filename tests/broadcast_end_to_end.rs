@@ -1,0 +1,102 @@
+//! End-to-end broadcast pipelines across workload families.
+
+use dcluster::prelude::*;
+
+fn local_on(net: &Network) -> dcluster::core::local_broadcast::LocalBroadcastOutcome {
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(net);
+    local_broadcast(&mut engine, &params, &mut seeds, net.density())
+}
+
+#[test]
+fn local_broadcast_on_uniform_field() {
+    let mut rng = Rng64::new(61);
+    let net = Network::builder(deploy::uniform_square(45, 3.0, &mut rng)).build().unwrap();
+    let out = local_on(&net);
+    assert!(out.complete);
+    assert!(local_broadcast_complete(&net, &out.heard_by));
+}
+
+#[test]
+fn local_broadcast_on_perturbed_grid() {
+    let mut rng = Rng64::new(62);
+    let net =
+        Network::builder(deploy::perturbed_grid(5, 8, 0.55, 0.1, &mut rng)).build().unwrap();
+    let out = local_on(&net);
+    assert!(out.complete);
+}
+
+#[test]
+fn local_broadcast_on_hotspots() {
+    let mut rng = Rng64::new(63);
+    let net = Network::builder(deploy::gaussian_clusters(2, 14, 0.25, 4.0, &mut rng))
+        .build()
+        .unwrap();
+    let out = local_on(&net);
+    assert!(out.complete);
+    // Dense hotspots force several labels.
+    assert!(out.labeling.max_label() >= 2);
+}
+
+#[test]
+fn global_broadcast_reaches_everyone_and_counts_phases() {
+    let mut rng = Rng64::new(64);
+    let pts = deploy::corridor_with_spine(30, 7.0, 1.0, 0.5, &mut rng);
+    let net = Network::builder(pts).build().unwrap();
+    let d = net.comm_graph().diameter().unwrap() as usize;
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let out = global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 5);
+    assert!(out.delivered_all);
+    assert!(out.local_broadcast_ok);
+    // Phase count is between 1 and D + slack (each phase swallows ≥1 layer).
+    assert!(!out.phases.is_empty());
+    assert!(
+        out.phases.len() <= d + 2,
+        "{} phases for diameter {d}",
+        out.phases.len()
+    );
+}
+
+#[test]
+fn sms_broadcast_with_three_sources() {
+    let mut rng = Rng64::new(65);
+    let pts = deploy::corridor_with_spine(30, 9.0, 1.0, 0.5, &mut rng);
+    let net = Network::builder(pts).build().unwrap();
+    // Three sources spread along the corridor, pairwise > comm radius.
+    let mut by_x: Vec<usize> = (0..net.len()).collect();
+    by_x.sort_by(|&a, &b| net.pos(a).x.partial_cmp(&net.pos(b).x).unwrap());
+    let sources = vec![by_x[0], by_x[net.len() / 2], by_x[net.len() - 1]];
+    for i in 0..sources.len() {
+        for j in i + 1..sources.len() {
+            assert!(
+                net.pos(sources[i]).dist(net.pos(sources[j])) > net.params().comm_radius()
+            );
+        }
+    }
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let out = sms_broadcast(&mut engine, &params, &mut seeds, &sources, net.density(), 1);
+    assert!(out.delivered_all);
+}
+
+#[test]
+fn wakeup_then_leader_election_pipeline() {
+    let mut rng = Rng64::new(66);
+    let pts = deploy::corridor_with_spine(20, 4.0, 1.0, 0.5, &mut rng);
+    let net = Network::builder(pts).build().unwrap();
+    let params = ProtocolParams::practical();
+
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let w = wakeup(&mut engine, &params, &mut seeds, &[3], net.density());
+    assert!(w.all_awake);
+
+    let mut seeds2 = SeedSeq::new(params.seed);
+    let mut engine2 = Engine::new(&net);
+    let le = leader_election(&mut engine2, &params, &mut seeds2, net.density());
+    assert!(net.index_of(le.leader_id).is_some());
+}

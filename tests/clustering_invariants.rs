@@ -1,0 +1,89 @@
+//! Theorem 1 invariants across random deployments (property-based).
+
+use dcluster::prelude::*;
+use proptest::prelude::*;
+
+fn run_clustering(n: usize, side_tenths: u32, seed: u64) -> (Network, dcluster::core::clustering::Clustering) {
+    let mut rng = Rng64::new(seed);
+    let side = side_tenths as f64 / 10.0;
+    let net = Network::builder(deploy::uniform_square(n, side, &mut rng))
+        .build()
+        .expect("nonempty");
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let all: Vec<usize> = (0..net.len()).collect();
+    let cl = clustering(&mut engine, &params, &mut seeds, &all, net.density());
+    (net, cl)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// (i) every node clustered within radius 1 of its center;
+    /// (ii) O(1) clusters per unit ball; centers separated.
+    #[test]
+    fn theorem1_invariants(n in 12usize..35, side in 8u32..35, seed in 0u64..500) {
+        let (net, cl) = run_clustering(n, side, seed);
+        let rep = check_clustering(&net, &cl.cluster_of);
+        prop_assert_eq!(rep.unassigned, 0, "unassigned nodes");
+        prop_assert!(rep.max_radius <= 1.0 + 1e-9, "radius {} > 1", rep.max_radius);
+        prop_assert!(
+            rep.max_clusters_per_unit_ball <= 40,
+            "clusters per unit ball {}",
+            rep.max_clusters_per_unit_ball
+        );
+        prop_assert!(rep.clusters >= 1);
+        prop_assert!(rep.clusters <= net.len());
+    }
+}
+
+#[test]
+fn clustering_works_on_a_line_topology() {
+    let pts = deploy::line(15, 0.6);
+    let net = Network::builder(pts).build().unwrap();
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let all: Vec<usize> = (0..net.len()).collect();
+    let cl = clustering(&mut engine, &params, &mut seeds, &all, net.density());
+    let rep = check_clustering(&net, &cl.cluster_of);
+    assert_eq!(rep.unassigned, 0);
+    assert!(rep.max_radius <= 1.0 + 1e-9);
+    // A 8.4-length line needs at least ~4 clusters of radius 1.
+    assert!(rep.clusters >= 4, "line split into only {} clusters", rep.clusters);
+}
+
+#[test]
+fn clustering_works_on_hotspots() {
+    let mut rng = Rng64::new(5);
+    let pts = deploy::gaussian_clusters(3, 12, 0.2, 6.0, &mut rng);
+    let net = Network::builder(pts).build().unwrap();
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let all: Vec<usize> = (0..net.len()).collect();
+    let cl = clustering(&mut engine, &params, &mut seeds, &all, net.density());
+    let rep = check_clustering(&net, &cl.cluster_of);
+    assert_eq!(rep.unassigned, 0);
+    assert!(rep.max_radius <= 1.0 + 1e-9);
+}
+
+#[test]
+fn cluster_ids_are_member_ids() {
+    // Cluster IDs must be IDs of actual nodes (the centers).
+    let (net, cl) = run_clustering(25, 20, 9);
+    for c in cl.cluster_of.iter().flatten() {
+        assert!(net.index_of(*c).is_some(), "cluster id {c} is not a node id");
+    }
+    // Centers list matches the distinct cluster ids.
+    let mut ids: Vec<u64> = cl.cluster_of.iter().flatten().copied().collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut centers: Vec<u64> = cl.centers.iter().map(|&v| net.id(v)).collect();
+    centers.sort_unstable();
+    centers.dedup();
+    for id in &ids {
+        assert!(centers.contains(id), "cluster {id} has no recorded center");
+    }
+}

@@ -1,0 +1,69 @@
+//! Bit-for-bit determinism: the whole point of the paper is that nothing
+//! is random — two executions must agree exactly.
+
+use dcluster::prelude::*;
+
+fn field(seed: u64) -> Network {
+    let mut rng = Rng64::new(seed);
+    Network::builder(deploy::uniform_square(30, 2.5, &mut rng)).build().unwrap()
+}
+
+#[test]
+fn clustering_is_reproducible() {
+    let net = field(71);
+    let params = ProtocolParams::practical();
+    let run = || {
+        let mut seeds = SeedSeq::new(params.seed);
+        let mut engine = Engine::new(&net);
+        let all: Vec<usize> = (0..net.len()).collect();
+        let cl = clustering(&mut engine, &params, &mut seeds, &all, net.density());
+        (cl.cluster_of.clone(), cl.rounds, engine.stats())
+    };
+    let (a_cl, a_rounds, a_stats) = run();
+    let (b_cl, b_rounds, b_stats) = run();
+    assert_eq!(a_cl, b_cl);
+    assert_eq!(a_rounds, b_rounds);
+    assert_eq!(a_stats, b_stats, "transmission/reception counts must agree");
+}
+
+#[test]
+fn different_protocol_seeds_give_different_schedules_same_guarantees() {
+    let net = field(72);
+    let mut outcomes = Vec::new();
+    for seed in [1u64, 2] {
+        let params = ProtocolParams { seed, ..ProtocolParams::practical() };
+        let mut seeds = SeedSeq::new(params.seed);
+        let mut engine = Engine::new(&net);
+        let out = local_broadcast(&mut engine, &params, &mut seeds, net.density());
+        assert!(out.complete, "guarantee must hold under any protocol seed");
+        outcomes.push(out.rounds);
+    }
+    // Round counts will almost surely differ (different selector families).
+    assert_ne!(outcomes[0], outcomes[1], "distinct seeds should yield distinct schedules");
+}
+
+#[test]
+fn global_broadcast_is_reproducible() {
+    let mut rng = Rng64::new(73);
+    let pts = deploy::corridor_with_spine(22, 5.0, 1.0, 0.5, &mut rng);
+    let net = Network::builder(pts).build().unwrap();
+    let params = ProtocolParams::practical();
+    let run = || {
+        let mut seeds = SeedSeq::new(params.seed);
+        let mut engine = Engine::new(&net);
+        let out = global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 9);
+        (out.rounds, out.phases.clone(), out.cluster_of.clone())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn network_construction_is_reproducible() {
+    let a = field(74);
+    let b = field(74);
+    assert_eq!(a.ids(), b.ids());
+    assert_eq!(a.points().len(), b.points().len());
+    for v in 0..a.len() {
+        assert_eq!(a.pos(v), b.pos(v));
+    }
+}

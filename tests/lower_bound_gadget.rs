@@ -1,0 +1,84 @@
+//! Theorem 6 machinery end-to-end: facts, the adversary game, chains.
+
+use dcluster::lowerbound::adversary::{HashedCoin, RoundRobin, SsfStrategy};
+use dcluster::lowerbound::facts::{check_fact_2_1, check_fact_2_2, check_fact_3};
+use dcluster::lowerbound::{
+    adversarial_assignment, build_chain, lower_bound_params, measure_chain, measure_gadget,
+    Gadget,
+};
+use dcluster::selectors::RandomSsf;
+
+#[test]
+fn facts_hold_across_gadget_sizes() {
+    let p = lower_bound_params();
+    for delta in [4usize, 10, 20, 32] {
+        let g = Gadget::new(delta, &p, 0.0);
+        assert_eq!(check_fact_2_1(&g, &p), None, "Fact 2.1, Δ = {delta}");
+        assert!(check_fact_2_2(&g, &p), "Fact 2.2, Δ = {delta}");
+    }
+}
+
+#[test]
+fn adversary_forces_linear_delay_for_all_strategies() {
+    let p = lower_bound_params();
+    let delta = 20usize;
+    let g = Gadget::new(delta, &p, 0.0);
+    let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
+
+    let rr = RoundRobin { period: (delta + 8) as u64 };
+    let game = adversarial_assignment(&rr, delta, &ids, 1_000_000);
+    let t = measure_gadget(&g, &p, &game.assignment, 900, 901, &rr, 1_000_000)
+        .expect("round robin delivers");
+    assert!(t as usize >= delta / 2, "round-robin: {t} < Δ/2");
+
+    let ssf = SsfStrategy(RandomSsf::with_len(3, 8, 200));
+    let game2 = adversarial_assignment(&ssf, delta, &ids, 2_000_000);
+    if let Some(t2) =
+        measure_gadget(&g, &p, &game2.assignment, 900, 901, &ssf, 2_000_000)
+    {
+        assert!(t2 as usize >= delta / 4, "ssf strategy: {t2} < Δ/4");
+    }
+}
+
+#[test]
+fn delay_grows_with_delta() {
+    let p = lower_bound_params();
+    let measure = |delta: usize| {
+        let g = Gadget::new(delta, &p, 0.0);
+        let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
+        let strat = RoundRobin { period: 2 * (delta as u64 + 2) };
+        let game = adversarial_assignment(&strat, delta, &ids, 1_000_000);
+        measure_gadget(&g, &p, &game.assignment, 900, 901, &strat, 1_000_000)
+            .expect("delivers")
+    };
+    let small = measure(8);
+    let large = measure(32);
+    assert!(
+        large > small,
+        "Ω(Δ): delay must grow with Δ ({small} vs {large})"
+    );
+}
+
+#[test]
+fn chain_fact3_and_crossing() {
+    let p = lower_bound_params();
+    let chain = build_chain(2, 8, &p);
+    assert!(check_fact_3(&chain, &p));
+    let strat = HashedCoin { seed: 5, k: 4 };
+    let m = measure_chain(&chain, &p, &strat, 5_000_000);
+    assert!(m.rounds.is_some(), "broadcast must cross the 2-gadget chain");
+    assert_eq!(m.per_gadget.len(), 2);
+}
+
+#[test]
+fn buffer_length_scales_with_alpha_root() {
+    let p = lower_bound_params();
+    let c4 = build_chain(1, 4, &p);
+    let c32 = build_chain(1, 32, &p);
+    let predicted_ratio = (32f64 / 4f64).powf(1.0 / p.alpha);
+    let actual_ratio = c32.kappa() as f64 / c4.kappa() as f64;
+    assert!(
+        (actual_ratio / predicted_ratio - 1.0).abs() < 0.8,
+        "κ ratio {actual_ratio:.2} vs predicted {predicted_ratio:.2}"
+    );
+}

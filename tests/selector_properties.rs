@@ -1,0 +1,89 @@
+//! Property-based verification of the combinatorial structures
+//! (Lemmas 2–3 and the classical families they extend).
+
+use dcluster::selectors::{verify, CoverFreeFamily, RandomSsf, RandomWcss, RandomWss, RsSsf};
+use dcluster::sim::rng::Rng64;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Explicit Reed–Solomon ssf: selection property on arbitrary sets.
+    #[test]
+    fn rs_ssf_selects(seed in 0u64..1000, k in 2usize..5) {
+        let n_univ = 400u64;
+        let ssf = RsSsf::new(n_univ, k);
+        let mut rng = Rng64::new(seed);
+        let set: Vec<u64> =
+            rng.sample_distinct(n_univ, k).into_iter().map(|v| v + 1).collect();
+        prop_assert!(verify::is_ssf_for(&ssf, &set), "selection failed for {set:?}");
+    }
+
+    /// Randomized ssf at theory length: selection property w.h.p.
+    #[test]
+    fn random_ssf_selects(seed in 0u64..1000) {
+        let n_univ = 300u64;
+        let k = 4usize;
+        let ssf = RandomSsf::new(12345, n_univ, k, 1.0);
+        let mut rng = Rng64::new(seed);
+        let set: Vec<u64> =
+            rng.sample_distinct(n_univ, k).into_iter().map(|v| v + 1).collect();
+        prop_assert!(verify::is_ssf_for(&ssf, &set));
+    }
+
+    /// Lemma 2: witnessed strong selection.
+    #[test]
+    fn wss_witnessed_selection(seed in 0u64..1000) {
+        let n_univ = 200u64;
+        let k = 3usize;
+        let wss = RandomWss::new(777, n_univ, k, 1.0);
+        let mut rng = Rng64::new(seed);
+        let mut ids: Vec<u64> =
+            rng.sample_distinct(n_univ, k + 1).into_iter().map(|v| v + 1).collect();
+        let y = ids.pop().unwrap();
+        prop_assert!(verify::is_wss_for(&wss, &ids, y));
+    }
+
+    /// Lemma 3: cluster-aware witnessed selection with conflicts.
+    #[test]
+    fn wcss_property(seed in 0u64..300) {
+        let n_univ = 100u64;
+        let (k, l) = (2usize, 2usize);
+        let wcss = RandomWcss::new(4242, n_univ, k, l, 1.0);
+        let mut rng = Rng64::new(seed);
+        let phi = 1 + rng.range_u64(20);
+        let c1 = 21 + rng.range_u64(20);
+        let c2 = 41 + rng.range_u64(20);
+        let mut ids: Vec<u64> =
+            rng.sample_distinct(n_univ, k + 1).into_iter().map(|v| v + 1).collect();
+        let y = ids.pop().unwrap();
+        prop_assert!(verify::is_wcss_for(&wcss, &ids, y, phi, &[c1, c2]));
+    }
+
+    /// Cover-free families: the Linial step always finds a free color and
+    /// keeps adjacent new colors distinct.
+    #[test]
+    fn cff_select_free(own in 0u64..5000, n1 in 0u64..5000, n2 in 0u64..5000, n3 in 0u64..5000) {
+        let cff = CoverFreeFamily::for_colors(5000, 4);
+        let nbrs: Vec<u64> =
+            [n1, n2, n3].into_iter().filter(|&c| c != own).collect();
+        let fresh = cff.select_free(own, &nbrs).expect("capacity 4 ≥ 3 neighbors");
+        prop_assert!(fresh < cff.ground_size());
+        // fresh ∈ S_own and ∉ S_nbr for all neighbors.
+        prop_assert!(cff.set_of(own).any(|e| e == fresh));
+        for &nb in &nbrs {
+            prop_assert!(cff.set_of(nb).all(|e| e != fresh));
+        }
+    }
+}
+
+#[test]
+fn wss_is_stronger_than_ssf_in_practice() {
+    // On a fixed budget the wss still satisfies plain selection.
+    let wss = RandomWss::new(3, 150, 3, 1.0);
+    let mut rng = Rng64::new(5);
+    for _ in 0..20 {
+        let set: Vec<u64> = rng.sample_distinct(150, 3).into_iter().map(|v| v + 1).collect();
+        assert!(verify::is_ssf_for(&wss, &set));
+    }
+}

@@ -1,0 +1,64 @@
+//! The downstream-user story: establish the stack once, then exchange
+//! payloads repeatedly at steady-state cost.
+
+use dcluster::prelude::*;
+
+#[test]
+fn stack_delivers_changing_payloads_every_epoch() {
+    let mut rng = Rng64::new(501);
+    let net = Network::builder(deploy::uniform_square(30, 2.2, &mut rng)).build().unwrap();
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let stack = Stack::establish(&mut engine, &params, &mut seeds, net.density());
+
+    // Three epochs of sensor readings; all must reach all neighbors.
+    let mut per_epoch_rounds = Vec::new();
+    for epoch in 0..3u64 {
+        let (rounds, heard) =
+            stack.local_broadcast_round(&mut engine, &mut seeds, |v| epoch << 32 | v as u64);
+        assert!(stack.complete(&engine, &heard), "epoch {epoch} incomplete");
+        per_epoch_rounds.push(rounds);
+    }
+    // Steady-state cost is stable across epochs (same labels, same SNS
+    // length class).
+    let min = *per_epoch_rounds.iter().min().unwrap() as f64;
+    let max = *per_epoch_rounds.iter().max().unwrap() as f64;
+    assert!(max / min < 1.5, "steady-state rounds vary too much: {per_epoch_rounds:?}");
+}
+
+#[test]
+fn stack_setup_matches_standalone_clustering_quality() {
+    let mut rng = Rng64::new(502);
+    let net = Network::builder(deploy::uniform_square(28, 2.0, &mut rng)).build().unwrap();
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let stack = Stack::establish(&mut engine, &params, &mut seeds, net.density());
+    let rep = check_clustering(&net, &stack.clustering().cluster_of);
+    assert_eq!(rep.unassigned, 0);
+    assert!(rep.max_radius <= 1.0 + 1e-9);
+    // Labels bounded by the largest cluster.
+    assert!(stack.labeling().max_label() as usize <= net.len());
+}
+
+#[test]
+fn stack_amortizes_over_many_rounds() {
+    let mut rng = Rng64::new(503);
+    let net = Network::builder(deploy::uniform_square(25, 2.0, &mut rng)).build().unwrap();
+    let params = ProtocolParams::practical();
+    let mut seeds = SeedSeq::new(params.seed);
+    let mut engine = Engine::new(&net);
+    let stack = Stack::establish(&mut engine, &params, &mut seeds, net.density());
+    let setup = stack.setup_rounds;
+    let mut steady_total = 0;
+    for _ in 0..5 {
+        let (r, heard) = stack.local_broadcast_round(&mut engine, &mut seeds, |v| v as u64);
+        assert!(stack.complete(&engine, &heard));
+        steady_total += r;
+    }
+    assert!(
+        steady_total < setup,
+        "five steady rounds ({steady_total}) should cost less than setup ({setup})"
+    );
+}
