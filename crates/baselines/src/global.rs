@@ -78,8 +78,7 @@ pub fn location_grid_flood(
     let cell = net.params().range() * (1.0 - eps) / (2.0 * std::f64::consts::SQRT_2);
     let m = color_period.max(2) as u64;
     let k = delta.max(2);
-    let len =
-        ((RandomSsf::recommended_len(net.max_id(), k) as f64 * factor).ceil() as u64).max(64);
+    let len = ((RandomSsf::recommended_len(net.max_id(), k) as f64 * factor).ceil() as u64).max(64);
     let ssf = RandomSsf::with_len(0x6E0_C0DE, k, len);
     run_flood(net, source, cap, move |net, v, round, _| {
         let p = net.pos(v);
@@ -107,10 +106,15 @@ pub fn round_robin_flood(net: &Network, source: usize, cap: u64) -> GlobalOutcom
 /// wake neighborhoods; distant same-round transmitters occasionally
 /// interfere (no witnessed filtering — that is exactly the gap the paper's
 /// wss machinery closes), so completion is empirical, not guaranteed.
-pub fn ssf_flood(net: &Network, source: usize, delta: usize, factor: f64, cap: u64) -> GlobalOutcome {
+pub fn ssf_flood(
+    net: &Network,
+    source: usize,
+    delta: usize,
+    factor: f64,
+    cap: u64,
+) -> GlobalOutcome {
     let k = delta.max(2);
-    let len =
-        ((RandomSsf::recommended_len(net.max_id(), k) as f64 * factor).ceil() as u64).max(64);
+    let len = ((RandomSsf::recommended_len(net.max_id(), k) as f64 * factor).ceil() as u64).max(64);
     let ssf = RandomSsf::with_len(0x55F_F100D, k, len);
     run_flood(net, source, cap, move |net, v, round, _| {
         ssf.contains(round % len, net.id(v))
@@ -126,12 +130,7 @@ pub fn ssf_flood(net: &Network, source: usize, delta: usize, factor: f64, cap: u
 /// conclusion of the paper speculates about: no location, no randomness —
 /// yet `D·poly(Δ)`-ish in practice, escaping the Theorem 6 regime because
 /// sensing *is* an extra model feature.
-pub fn carrier_sense_flood(
-    net: &Network,
-    source: usize,
-    window: u64,
-    cap: u64,
-) -> GlobalOutcome {
+pub fn carrier_sense_flood(net: &Network, source: usize, window: u64, cap: u64) -> GlobalOutcome {
     use dcluster_sim::radio::{sensed_power, Radio};
     let window = window.max(2);
     let fresh = |id: u64, round: u64| hash64(0xC5_F100D, &[id, round]) % window + 1;
@@ -147,8 +146,9 @@ pub fn carrier_sense_flood(
         if awake.iter().all(|&a| a) {
             break;
         }
-        let tx: Vec<usize> =
-            (0..net.len()).filter(|&v| awake[v] && backoff[v] == 0).collect();
+        let tx: Vec<usize> = (0..net.len())
+            .filter(|&v| awake[v] && backoff[v] == 0)
+            .collect();
         transmissions += tx.len() as u64;
         for r in radio.resolve(net, &tx) {
             awake[r.receiver] = true;
@@ -165,7 +165,12 @@ pub fn carrier_sense_flood(
             } // busy: freeze — someone nearby holds the channel
         }
     }
-    GlobalOutcome { rounds, reached_all: awake.iter().all(|&a| a), awake, transmissions }
+    GlobalOutcome {
+        rounds,
+        reached_all: awake.iter().all(|&a| a),
+        awake,
+        transmissions,
+    }
 }
 
 #[cfg(test)]
@@ -211,7 +216,11 @@ mod tests {
     fn ssf_flood_succeeds_on_moderate_corridors() {
         let net = corridor(14);
         let out = ssf_flood(&net, 0, net.max_degree().max(2), 0.1, 2_000_000);
-        assert!(out.reached_all, "ssf flood stalled at {} rounds", out.rounds);
+        assert!(
+            out.reached_all,
+            "ssf flood stalled at {} rounds",
+            out.rounds
+        );
     }
 
     #[test]
@@ -220,7 +229,11 @@ mod tests {
         let delta = net.max_degree().max(2) as u64;
         let a = carrier_sense_flood(&net, 0, 2 * delta, 500_000);
         let b = carrier_sense_flood(&net, 0, 2 * delta, 500_000);
-        assert!(a.reached_all, "carrier-sense flood stalled at {} rounds", a.rounds);
+        assert!(
+            a.reached_all,
+            "carrier-sense flood stalled at {} rounds",
+            a.rounds
+        );
         assert_eq!(a.rounds, b.rounds, "deterministic algorithm must reproduce");
     }
 

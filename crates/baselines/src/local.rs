@@ -43,7 +43,13 @@ fn run_probabilistic<F: Fn(usize, u64, bool) -> f64>(
     prob: F,
 ) -> LocalOutcome {
     let mut engine = Engine::new(net);
-    let mut b = ProbabilisticTx { tracker: DeliveryTracker::new(net), prob, seed, net, with_feedback };
+    let mut b = ProbabilisticTx {
+        tracker: DeliveryTracker::new(net),
+        prob,
+        seed,
+        net,
+        with_feedback,
+    };
     let rounds = engine.run_until(&mut b, cap, |b| b.tracker.complete());
     LocalOutcome {
         rounds,
@@ -139,15 +145,19 @@ pub fn feedback(
 /// occupancy bound (`≈ ∆`); the original \[22\] reaches `O(∆ log³ n)` with a
 /// backbone construction — the table row's point (deterministic + location)
 /// is preserved. Runs until complete or the schedule is exhausted.
-pub fn location_grid(net: &Network, delta: usize, color_period: usize, factor: f64) -> LocalOutcome {
+pub fn location_grid(
+    net: &Network,
+    delta: usize,
+    color_period: usize,
+    factor: f64,
+) -> LocalOutcome {
     let eps = net.params().epsilon;
     let cell = net.params().range() * (1.0 - eps) / (2.0 * std::f64::consts::SQRT_2);
     let m = color_period.max(2);
     // Per-cell occupancy bound: nodes within one cell are within a unit
     // ball, so ∆ bounds it.
     let k = delta.max(2);
-    let len =
-        ((RandomSsf::recommended_len(net.max_id(), k) as f64 * factor).ceil() as u64).max(64);
+    let len = ((RandomSsf::recommended_len(net.max_id(), k) as f64 * factor).ceil() as u64).max(64);
     let ssf = RandomSsf::with_len(0x10CA7E, k, len);
 
     let cell_of = |v: usize| {
@@ -156,7 +166,10 @@ pub fn location_grid(net: &Network, delta: usize, color_period: usize, factor: f
     };
     let color_of = |v: usize| {
         let (cx, cy) = cell_of(v);
-        (cx.rem_euclid(m as i64) as usize, cy.rem_euclid(m as i64) as usize)
+        (
+            cx.rem_euclid(m as i64) as usize,
+            cy.rem_euclid(m as i64) as usize,
+        )
     };
 
     struct GridTx<'a, C: Fn(usize) -> (usize, usize)> {
@@ -185,7 +198,13 @@ pub fn location_grid(net: &Network, delta: usize, color_period: usize, factor: f
     }
 
     let mut engine = Engine::new(net);
-    let mut b = GridTx { tracker: DeliveryTracker::new(net), ssf, color_of, m, net };
+    let mut b = GridTx {
+        tracker: DeliveryTracker::new(net),
+        ssf,
+        color_of,
+        m,
+        net,
+    };
     // One full pass = m² stripes of len rounds; allow three passes.
     let cap = 3 * (m * m) as u64 * ssf.len();
     let rounds = engine.run_until(&mut b, cap, |b| b.tracker.complete());
@@ -205,7 +224,9 @@ mod tests {
 
     fn testnet(n: usize, side: f64, seed: u64) -> Network {
         let mut rng = Rng64::new(seed);
-        Network::builder(deploy::uniform_square(n, side, &mut rng)).build().unwrap()
+        Network::builder(deploy::uniform_square(n, side, &mut rng))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -254,8 +275,13 @@ mod tests {
     #[test]
     fn barenboim_peleg_preset_completes() {
         let net = testnet(40, 2.0, 6);
-        let out =
-            feedback(&net, net.max_degree().max(1), FeedbackPreset::BarenboimPeleg, 5, 400_000);
+        let out = feedback(
+            &net,
+            net.max_degree().max(1),
+            FeedbackPreset::BarenboimPeleg,
+            5,
+            400_000,
+        );
         assert!(out.complete);
     }
 

@@ -18,14 +18,16 @@ impl DeliveryTracker {
         let g = net.comm_graph();
         let missing_of: Vec<usize> = (0..net.len()).map(|v| g.degree(v)).collect();
         let missing_total = missing_of.iter().sum();
-        Self { heard_by: vec![HashSet::new(); net.len()], missing_of, missing_total }
+        Self {
+            heard_by: vec![HashSet::new(); net.len()],
+            missing_of,
+            missing_total,
+        }
     }
 
     /// Records that `receiver` heard `sender`'s message.
     pub fn record(&mut self, net: &Network, sender: usize, receiver: usize) {
-        if self.heard_by[sender].insert(receiver)
-            && net.comm_graph().has_edge(sender, receiver)
-        {
+        if self.heard_by[sender].insert(receiver) && net.comm_graph().has_edge(sender, receiver) {
             self.missing_of[sender] -= 1;
             self.missing_total -= 1;
         }

@@ -10,7 +10,9 @@ fn bench_local(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_broadcast");
     group.sample_size(10);
     let mut rng = Rng64::new(5);
-    let net = Network::builder(deploy::uniform_square(40, 2.5, &mut rng)).build().unwrap();
+    let net = Network::builder(deploy::uniform_square(40, 2.5, &mut rng))
+        .build()
+        .unwrap();
     let delta = net.max_degree().max(1);
 
     group.bench_function("this_work", |b| {
@@ -26,7 +28,13 @@ fn bench_local(c: &mut Criterion) {
     });
     group.bench_function("feedback_hm", |b| {
         b.iter(|| {
-            local::feedback(&net, delta, local::FeedbackPreset::HalldorssonMitra, 7, 1_000_000)
+            local::feedback(
+                &net,
+                delta,
+                local::FeedbackPreset::HalldorssonMitra,
+                7,
+                1_000_000,
+            )
         })
     });
     group.finish();

@@ -12,7 +12,9 @@ fn bench_clustering(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[30usize, 60] {
         let mut rng = Rng64::new(13);
-        let net = Network::builder(deploy::uniform_square(n, 2.5, &mut rng)).build().unwrap();
+        let net = Network::builder(deploy::uniform_square(n, 2.5, &mut rng))
+            .build()
+            .unwrap();
         let gamma = net.density();
         group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
             b.iter(|| {

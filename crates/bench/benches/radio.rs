@@ -10,9 +10,13 @@ fn bench_resolvers(c: &mut Criterion) {
     group.sample_size(20);
     for &n in &[200usize, 800] {
         let mut rng = Rng64::new(9);
-        let net = Network::builder(deploy::uniform_square(n, (n as f64 / 40.0).sqrt() * 2.0, &mut rng))
-            .build()
-            .unwrap();
+        let net = Network::builder(deploy::uniform_square(
+            n,
+            (n as f64 / 40.0).sqrt() * 2.0,
+            &mut rng,
+        ))
+        .build()
+        .unwrap();
         for &frac in &[0.05f64, 0.3] {
             let tx: Vec<usize> = (0..n).filter(|_| rng.chance(frac)).collect();
             group.bench_with_input(

@@ -28,7 +28,10 @@ fn ssf_variant(net: &Network, params: &ProtocolParams, pairs_total: usize) -> (u
     let mut heard: Vec<Vec<(u64, usize)>> = vec![Vec::new(); net.len()];
     unit.run(
         &mut engine,
-        |v| Msg::Hello { id: net.id(v), cluster: 0 },
+        |v| Msg::Hello {
+            id: net.id(v),
+            cluster: 0,
+        },
         &mut |recv, lr, sender, _| heard[recv].push((lr, sender)),
     );
     let mut purges = 0usize;
@@ -77,15 +80,19 @@ fn main() {
             let net = Network::builder(deploy::uniform_square(n, 2.0, &mut rng))
                 .build()
                 .expect("nonempty");
-            let pairs =
-                close_pairs(net.points(), None, net.density(), 1.0, net.params().epsilon);
+            let pairs = close_pairs(net.points(), None, net.density(), 1.0, net.params().epsilon);
 
             // wss (the paper's construction).
             let mut seeds = SeedSeq::new(params.seed);
             let mut engine = Engine::new(&net);
             let members: Vec<usize> = (0..net.len()).collect();
             let p = build_proximity_graph(
-                &mut engine, &params, &mut seeds, &members, &vec![0; net.len()], false,
+                &mut engine,
+                &params,
+                &mut seeds,
+                &members,
+                &vec![0; net.len()],
+                false,
             );
             let wss_cov = pairs.iter().filter(|cp| p.has_edge(cp.u, cp.w)).count();
 
@@ -105,7 +112,15 @@ fn main() {
     }
     print_table(
         "Ablation — witnessed (wss) vs plain ssf in Algorithm 1",
-        &["len factor", "n", "Γ", "close pairs", "wss covered", "ssf covered", "ssf purges"],
+        &[
+            "len factor",
+            "n",
+            "Γ",
+            "close pairs",
+            "wss covered",
+            "ssf covered",
+            "ssf purges",
+        ],
         &rows,
     );
     println!(
@@ -115,7 +130,15 @@ fn main() {
     );
     write_csv(
         "ablation_wss",
-        &["len_factor", "n", "gamma", "pairs", "wss_cov", "ssf_cov", "purges"],
+        &[
+            "len_factor",
+            "n",
+            "gamma",
+            "pairs",
+            "wss_cov",
+            "ssf_cov",
+            "purges",
+        ],
         &rows,
     );
 }

@@ -45,7 +45,14 @@ fn main() {
     }
     print_table(
         "Energy — transmissions during local broadcast (n = 70)",
-        &["net", "algorithm", "rounds", "total tx", "tx per node", "duty cycle"],
+        &[
+            "net",
+            "algorithm",
+            "rounds",
+            "total tx",
+            "tx per node",
+            "duty cycle",
+        ],
         &rows,
     );
     println!(
@@ -55,7 +62,14 @@ fn main() {
     );
     write_csv(
         "energy_accounting",
-        &["net", "algo", "rounds", "tx_total", "tx_per_node", "duty_cycle"],
+        &[
+            "net",
+            "algo",
+            "rounds",
+            "tx_total",
+            "tx_per_node",
+            "duty_cycle",
+        ],
         &rows,
     );
 }

@@ -15,7 +15,10 @@ fn main() {
     let mut pts = deploy::gaussian_clusters(1, 10, 0.15, 0.1, &mut rng);
     pts.extend(deploy::corridor_with_spine(30, 5.0, 1.0, 0.45, &mut rng));
     let net = Network::builder(pts).build().expect("nonempty");
-    assert!(net.comm_graph().is_connected(), "workload must be connected");
+    assert!(
+        net.comm_graph().is_connected(),
+        "workload must be connected"
+    );
 
     let params = ProtocolParams::practical();
     let mut seeds = SeedSeq::new(params.seed);
@@ -60,7 +63,15 @@ fn main() {
     println!("total rounds: {}", out.rounds);
     write_csv(
         "fig1_phases",
-        &["phase", "newly_awake", "awake_total", "rounds", "stage1", "stage2", "stage3"],
+        &[
+            "phase",
+            "newly_awake",
+            "awake_total",
+            "rounds",
+            "stage1",
+            "stage2",
+            "stage3",
+        ],
         &rows,
     );
 }

@@ -20,12 +20,15 @@ fn main() {
         let mut engine = Engine::new(&net);
         let members: Vec<usize> = (0..net.len()).collect();
         let p = build_proximity_graph(
-            &mut engine, &params, &mut seeds, &members, &vec![0; net.len()], false,
+            &mut engine,
+            &params,
+            &mut seeds,
+            &members,
+            &vec![0; net.len()],
+            false,
         );
-        let pairs =
-            close_pairs(net.points(), None, net.density(), 1.0, net.params().epsilon);
-        let covered =
-            pairs.iter().filter(|cp| p.has_edge(cp.u, cp.w)).count();
+        let pairs = close_pairs(net.points(), None, net.density(), 1.0, net.params().epsilon);
+        let covered = pairs.iter().filter(|cp| p.has_edge(cp.u, cp.w)).count();
         rows.push(vec![
             n.to_string(),
             net.density().to_string(),
@@ -37,13 +40,30 @@ fn main() {
     }
     print_table(
         "Figure 2 — ProximityGraphConstruction (Alg. 1, Lemma 7)",
-        &["n", "density Γ", "H edges", "max degree (≤ κ)", "close pairs covered", "rounds"],
+        &[
+            "n",
+            "density Γ",
+            "H edges",
+            "max degree (≤ κ)",
+            "close pairs covered",
+            "rounds",
+        ],
         &rows,
     );
-    println!("\nκ = {} (degree cap); rounds = (κ+1)·|wss| = O(log N)", params.kappa);
+    println!(
+        "\nκ = {} (degree cap); rounds = (κ+1)·|wss| = O(log N)",
+        params.kappa
+    );
     write_csv(
         "fig2_proximity",
-        &["n", "gamma", "edges", "max_degree", "close_pairs_covered", "rounds"],
+        &[
+            "n",
+            "gamma",
+            "edges",
+            "max_degree",
+            "close_pairs_covered",
+            "rounds",
+        ],
         &rows,
     );
 }

@@ -13,7 +13,10 @@ fn main() {
     let params = ProtocolParams::practical();
     let mut rows: Vec<Vec<String>> = Vec::new();
 
-    for (variant, seed) in [("clustered (local minima)", 31u64), ("unclustered (LOCAL MIS)", 32)] {
+    for (variant, seed) in [
+        ("clustered (local minima)", 31u64),
+        ("unclustered (LOCAL MIS)", 32),
+    ] {
         let mut rng = Rng64::new(seed);
         let net = Network::builder(deploy::uniform_square(60, 1.8, &mut rng))
             .build()
@@ -25,13 +28,23 @@ fn main() {
         let clusters = vec![1u64; net.len()];
         let (kept, links, rounds) = if variant.starts_with("clustered") {
             let out = sparsification(
-                &mut engine, &params, &mut seeds, gamma, &all, &clusters,
+                &mut engine,
+                &params,
+                &mut seeds,
+                gamma,
+                &all,
+                &clusters,
                 IndependentSetRule::LocalMinima,
             );
             (out.kept, out.links.len(), engine.stats().rounds)
         } else {
             let out = sparsification_u(
-                &mut engine, &params, &mut seeds, gamma, &all, MisStrategy::GreedyById,
+                &mut engine,
+                &params,
+                &mut seeds,
+                gamma,
+                &all,
+                MisStrategy::GreedyById,
             );
             (out.last().to_vec(), out.links.len(), engine.stats().rounds)
         };
@@ -48,13 +61,29 @@ fn main() {
     }
     print_table(
         "Figure 3 — Sparsification (Alg. 2/3, Lemmas 8–9)",
-        &["variant", "n", "Γ before", "kept", "density after", "child links", "rounds"],
+        &[
+            "variant",
+            "n",
+            "Γ before",
+            "kept",
+            "density after",
+            "child links",
+            "rounds",
+        ],
         &rows,
     );
     println!("\nLemma 8/9 target: density after ≤ ¾·Γ.");
     write_csv(
         "fig3_sparsify",
-        &["variant", "n", "gamma", "kept", "density_after", "links", "rounds"],
+        &[
+            "variant",
+            "n",
+            "gamma",
+            "kept",
+            "density_after",
+            "links",
+            "rounds",
+        ],
         &rows,
     );
 }

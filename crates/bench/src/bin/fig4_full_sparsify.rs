@@ -40,5 +40,9 @@ fn main() {
         out.units.len(),
         engine.stats().rounds
     );
-    write_csv("fig4_full_sparsify", &["level", "size", "density", "bound"], &rows);
+    write_csv(
+        "fig4_full_sparsify",
+        &["level", "size", "density", "bound"],
+        &rows,
+    );
 }

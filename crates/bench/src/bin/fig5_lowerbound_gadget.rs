@@ -19,11 +19,16 @@ fn main() {
         // Three deterministic strategies, same adversary.
         // The ssf's k must cover the whole awake core (Δ+2 contenders),
         // otherwise unique selection is never guaranteed.
-        let rr = RoundRobin { period: (delta + 8) as u64 };
+        let rr = RoundRobin {
+            period: (delta + 8) as u64,
+        };
         let k_core = delta + 4;
         let ssf_len = (8 * k_core * k_core) as u64;
         let ssf = SsfStrategy(RandomSsf::with_len(3, k_core, ssf_len));
-        let coin = HashedCoin { seed: 17, k: (delta / 2).max(2) as u64 };
+        let coin = HashedCoin {
+            seed: 17,
+            k: (delta / 2).max(2) as u64,
+        };
 
         let game_rr = adversarial_assignment(&rr, delta, &ids, 2_000_000);
         let t_rr = measure_gadget(&g, &p, &game_rr.assignment, 900, 901, &rr, 2_000_000);
@@ -34,11 +39,13 @@ fn main() {
         cells.push(fmt(t_ssf));
 
         let game_coin = adversarial_assignment(&coin, delta, &ids, 2_000_000);
-        let t_coin =
-            measure_gadget(&g, &p, &game_coin.assignment, 900, 901, &coin, 2_000_000);
+        let t_coin = measure_gadget(&g, &p, &game_coin.assignment, 900, 901, &coin, 2_000_000);
         cells.push(fmt(t_coin));
 
-        let ms = MultiScale { seed: 23, scales: 8 };
+        let ms = MultiScale {
+            seed: 23,
+            scales: 8,
+        };
         let game_ms = adversarial_assignment(&ms, delta, &ids, 2_000_000);
         let t_ms = measure_gadget(&g, &p, &game_ms.assignment, 900, 901, &ms, 2_000_000);
         cells.push(fmt(t_ms));
@@ -48,7 +55,14 @@ fn main() {
     }
     print_table(
         "Figures 5–6 — rounds until t hears, adversarial IDs (Lemma 13)",
-        &["Δ", "round-robin", "ssf strategy", "hashed-coin", "multi-scale", "Ω(Δ) reference (Δ/2)"],
+        &[
+            "Δ",
+            "round-robin",
+            "ssf strategy",
+            "hashed-coin",
+            "multi-scale",
+            "Ω(Δ) reference (Δ/2)",
+        ],
         &rows,
     );
     println!(
@@ -57,7 +71,14 @@ fn main() {
     );
     write_csv(
         "fig5_lowerbound_gadget",
-        &["delta", "round_robin", "ssf", "hashed_coin", "multi_scale", "reference"],
+        &[
+            "delta",
+            "round_robin",
+            "ssf",
+            "hashed_coin",
+            "multi_scale",
+            "reference",
+        ],
         &rows,
     );
 }

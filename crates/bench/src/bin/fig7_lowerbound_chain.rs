@@ -49,7 +49,16 @@ fn main() {
     }
     print_table(
         &format!("Figure 7 / Theorem 6 — {gadgets} chained gadgets, rounds vs Δ"),
-        &["Δ", "κ (buffer)", "n", "D", "rounds", "avg gadget delay", "rounds/D", "Δ^(1−1/α)"],
+        &[
+            "Δ",
+            "κ (buffer)",
+            "n",
+            "D",
+            "rounds",
+            "avg gadget delay",
+            "rounds/D",
+            "Δ^(1−1/α)",
+        ],
         &rows,
     );
     // Log-log slope of rounds/D against Δ ≈ 1 − 1/α.
@@ -65,7 +74,16 @@ fn main() {
     }
     write_csv(
         "fig7_lowerbound_chain",
-        &["delta", "kappa", "n", "diameter", "rounds", "avg_gadget", "rounds_per_d", "predicted"],
+        &[
+            "delta",
+            "kappa",
+            "n",
+            "diameter",
+            "rounds",
+            "avg_gadget",
+            "rounds_per_d",
+            "predicted",
+        ],
         &rows,
     );
 }

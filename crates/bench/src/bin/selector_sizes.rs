@@ -19,7 +19,7 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Lemmas 2–3 — selector sizes over [N], N = 2^20"),
+        "Lemmas 2–3 — selector sizes over [N], N = 2^20",
         &[
             "k",
             "ssf optimal k²ln(N/k)",

@@ -12,8 +12,11 @@ use dcluster_core::{local_broadcast, ProtocolParams, SeedSeq};
 use dcluster_sim::Engine;
 
 fn main() {
-    let deltas: Vec<usize> =
-        if full_scale() { vec![4, 8, 12, 16, 24] } else { vec![4, 8, 12] };
+    let deltas: Vec<usize> = if full_scale() {
+        vec![4, 8, 12, 16, 24]
+    } else {
+        vec![4, 8, 12]
+    };
     let n = if full_scale() { 150 } else { 80 };
     let cap = 3_000_000u64;
 
@@ -53,10 +56,8 @@ fn main() {
                 0 => local::gmw_known_delta(&net, d_real, 7, cap).rounds,
                 1 => local::gmw_unknown_delta(&net, 7, cap).rounds,
                 2 => local::yu_growth(&net, d_real, 7, cap).rounds,
-                3 => local::feedback(&net, d_real, FeedbackPreset::HalldorssonMitra, 7, cap)
-                    .rounds,
-                4 => local::feedback(&net, d_real, FeedbackPreset::BarenboimPeleg, 7, cap)
-                    .rounds,
+                3 => local::feedback(&net, d_real, FeedbackPreset::HalldorssonMitra, 7, cap).rounds,
+                4 => local::feedback(&net, d_real, FeedbackPreset::BarenboimPeleg, 7, cap).rounds,
                 5 => local::location_grid(&net, d_real, 4, 0.05).rounds,
                 6 => ours[di].0,
                 _ => ours[di].1,
@@ -80,7 +81,11 @@ fn main() {
         &headers,
         &rows,
     );
-    write_csv("table1_local_broadcast", &["algo", "delta_target", "delta_real", "rounds"], &csv);
+    write_csv(
+        "table1_local_broadcast",
+        &["algo", "delta_target", "delta_real", "rounds"],
+        &csv,
+    );
     println!(
         "\nNotes: all runs on identical deployments; caps {cap} rounds. \
          (*) our [22] variant is the simplified grid+ssf version (DESIGN.md §3)."

@@ -19,7 +19,11 @@ fn corridor(len: f64, n: usize, seed: u64) -> Network {
 }
 
 fn main() {
-    let lengths: Vec<f64> = if full_scale() { vec![6.0, 12.0, 18.0] } else { vec![6.0, 12.0] };
+    let lengths: Vec<f64> = if full_scale() {
+        vec![6.0, 12.0, 18.0]
+    } else {
+        vec![6.0, 12.0]
+    };
     let cap = 5_000_000u64;
 
     let algos = [
@@ -60,9 +64,8 @@ fn main() {
                     let params = ProtocolParams::practical();
                     let mut seeds = SeedSeq::new(params.seed);
                     let mut engine = Engine::new(net);
-                    let out = global_broadcast(
-                        &mut engine, &params, &mut seeds, 0, net.density(), 1,
-                    );
+                    let out =
+                        global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 1);
                     assert!(out.delivered_all, "this-work broadcast must complete");
                     out.rounds
                 }
@@ -79,8 +82,16 @@ fn main() {
         eprintln!("done: {name}");
     }
 
-    print_table("Table 2 — global broadcast on spined corridors", &headers, &rows);
-    write_csv("table2_global_broadcast", &["algo", "diameter", "n", "rounds"], &csv);
+    print_table(
+        "Table 2 — global broadcast on spined corridors",
+        &headers,
+        &rows,
+    );
+    write_csv(
+        "table2_global_broadcast",
+        &["algo", "diameter", "n", "rounds"],
+        &csv,
+    );
     println!(
         "\nNotes: N = n² IDs; the paper's lower-bound row Ω(D·Δ^(1−1/α)) is \
          reproduced by fig7_lowerbound_chain. (*) simplified variant, DESIGN.md §3."

@@ -10,7 +10,11 @@ use dcluster_sim::Engine;
 
 fn main() {
     let params = ProtocolParams::practical();
-    let deltas: Vec<usize> = if full_scale() { vec![4, 8, 12, 16, 24] } else { vec![4, 8, 12] };
+    let deltas: Vec<usize> = if full_scale() {
+        vec![4, 8, 12, 16, 24]
+    } else {
+        vec![4, 8, 12]
+    };
     let n = if full_scale() { 120 } else { 70 };
 
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -49,7 +53,15 @@ fn main() {
     println!("\nTheorem 1: rounds = O(Γ·log N·log* N) ⇒ rounds/Γ ≈ flat.");
     write_csv(
         "thm1_clustering",
-        &["gamma", "rounds", "rounds_per_gamma", "clusters", "max_radius", "cpb", "unassigned"],
+        &[
+            "gamma",
+            "rounds",
+            "rounds_per_gamma",
+            "clusters",
+            "max_radius",
+            "cpb",
+            "unassigned",
+        ],
         &rows,
     );
 }

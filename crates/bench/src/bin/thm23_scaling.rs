@@ -11,7 +11,11 @@ fn main() {
     let params = ProtocolParams::practical();
 
     // --- Theorem 2: local broadcast vs Δ.
-    let deltas: Vec<usize> = if full_scale() { vec![4, 8, 12, 18] } else { vec![4, 8, 12] };
+    let deltas: Vec<usize> = if full_scale() {
+        vec![4, 8, 12, 18]
+    } else {
+        vec![4, 8, 12]
+    };
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (i, &delta) in deltas.iter().enumerate() {
         let net = connected_deployment(70, delta, 300 + i as u64);
@@ -33,7 +37,11 @@ fn main() {
         &["Γ (≈Δ)", "rounds", "rounds/Γ (≈flat)", "Ω(Δ) reference"],
         &rows,
     );
-    write_csv("thm2_local_scaling", &["gamma", "rounds", "rounds_per_gamma", "lb"], &rows);
+    write_csv(
+        "thm2_local_scaling",
+        &["gamma", "rounds", "rounds_per_gamma", "lb"],
+        &rows,
+    );
 
     // --- Theorem 3: global broadcast vs D at similar Δ.
     let mut rows: Vec<Vec<String>> = Vec::new();

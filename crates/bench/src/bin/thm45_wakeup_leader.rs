@@ -68,7 +68,16 @@ fn main() {
     );
     write_csv(
         "thm45_wakeup_leader",
-        &["D", "n", "delta", "wakeup1", "wakeup_many", "leader_rounds", "probes", "leader_id"],
+        &[
+            "D",
+            "n",
+            "delta",
+            "wakeup1",
+            "wakeup_many",
+            "leader_rounds",
+            "probes",
+            "leader_id",
+        ],
         &rows,
     );
 }

@@ -33,7 +33,10 @@ pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[V
     println!("\n## {title}\n");
     let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     println!("| {} |", hdr.join(" | "));
-    println!("|{}|", hdr.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        hdr.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
         println!("| {} |", cells.join(" | "));
@@ -50,11 +53,20 @@ pub fn write_csv<H: Display, C: Display>(name: &str, headers: &[H], rows: &[Vec<
     }
     let mut out = String::new();
     out.push_str(
-        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>().join(","),
+        &headers
+            .iter()
+            .map(|h| h.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
     );
     out.push('\n');
     for row in rows {
-        out.push_str(&row.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &row.iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
     }
     let path = dir.join(format!("{name}.csv"));
@@ -67,21 +79,21 @@ pub fn write_csv<H: Display, C: Display>(name: &str, headers: &[H], rows: &[Vec<
 /// Scale knob for experiment sizes: `DCLUSTER_SCALE=quick|full` (default
 /// quick). `full` roughly doubles network sizes and sweep points.
 pub fn full_scale() -> bool {
-    std::env::var("DCLUSTER_SCALE").map(|v| v == "full").unwrap_or(false)
+    std::env::var("DCLUSTER_SCALE")
+        .map(|v| v == "full")
+        .unwrap_or(false)
 }
 
 /// Builds a connected uniform deployment targeting max degree ≈ `delta`
 /// with `n` nodes (retries seeds until connected).
-pub fn connected_deployment(
-    n: usize,
-    delta: usize,
-    seed: u64,
-) -> dcluster_sim::Network {
+pub fn connected_deployment(n: usize, delta: usize, seed: u64) -> dcluster_sim::Network {
     let comm_r = dcluster_sim::SinrParams::default().comm_radius();
     for attempt in 0..50 {
         let mut rng = dcluster_sim::rng::Rng64::new(seed + attempt * 1000);
         let pts = dcluster_sim::deploy::uniform_with_target_degree(n, delta, comm_r, &mut rng);
-        let net = dcluster_sim::Network::builder(pts).build().expect("nonempty");
+        let net = dcluster_sim::Network::builder(pts)
+            .build()
+            .expect("nonempty");
         if net.comm_graph().is_connected() {
             return net;
         }
@@ -95,7 +107,9 @@ pub fn connected_deployment(
         0.5,
         &mut rng,
     );
-    dcluster_sim::Network::builder(pts).build().expect("nonempty")
+    dcluster_sim::Network::builder(pts)
+        .build()
+        .expect("nonempty")
 }
 
 #[cfg(test)]

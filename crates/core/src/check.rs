@@ -32,9 +32,9 @@ pub fn check_clustering(net: &Network, cluster_of: &[Option<u64>]) -> Clustering
     let n = net.len();
     let unassigned = cluster_of.iter().filter(|c| c.is_none()).count();
     let mut members: HashMap<u64, Vec<usize>> = HashMap::new();
-    for v in 0..n {
-        if let Some(c) = cluster_of[v] {
-            members.entry(c).or_default().push(v);
+    for (v, c) in cluster_of.iter().enumerate() {
+        if let Some(c) = c {
+            members.entry(*c).or_default().push(v);
         }
     }
     // Radius around the center node (the node whose ID is the cluster ID).
@@ -59,8 +59,7 @@ pub fn check_clustering(net: &Network, cluster_of: &[Option<u64>]) -> Clustering
         max_cpb = max_cpb.max(seen.len());
     }
     // Center separation.
-    let centers: Vec<usize> =
-        members.keys().filter_map(|&c| net.index_of(c)).collect();
+    let centers: Vec<usize> = members.keys().filter_map(|&c| net.index_of(c)).collect();
     let mut min_sep = f64::INFINITY;
     for i in 0..centers.len() {
         for j in i + 1..centers.len() {
@@ -85,15 +84,18 @@ pub fn local_broadcast_complete(net: &Network, heard_by: &[HashSet<usize>]) -> b
 
 /// The `(sender, neighbor)` pairs still missing for a complete local
 /// broadcast.
-pub fn missing_deliveries(
-    net: &Network,
-    heard_by: &[HashSet<usize>],
-) -> Vec<(usize, usize)> {
+pub fn missing_deliveries(net: &Network, heard_by: &[HashSet<usize>]) -> Vec<(usize, usize)> {
+    assert!(
+        heard_by.len() >= net.len(),
+        "heard_by covers {} of {} nodes",
+        heard_by.len(),
+        net.len()
+    );
     let g = net.comm_graph();
     let mut out = Vec::new();
-    for v in 0..net.len() {
+    for (v, heard) in heard_by.iter().enumerate().take(net.len()) {
         for &u in g.neighbors(v) {
-            if !heard_by[v].contains(&(u as usize)) {
+            if !heard.contains(&(u as usize)) {
                 out.push((v, u as usize));
             }
         }
@@ -143,9 +145,9 @@ mod tests {
         let (net, _) = two_cluster_net();
         let mut heard: Vec<HashSet<usize>> = vec![HashSet::new(); net.len()];
         // Saturate everything…
-        for v in 0..net.len() {
+        for (v, hv) in heard.iter_mut().enumerate() {
             for &u in net.comm_graph().neighbors(v) {
-                heard[v].insert(u as usize);
+                hv.insert(u as usize);
             }
         }
         assert!(local_broadcast_complete(&net, &heard));

@@ -141,9 +141,7 @@ pub fn clustering(
                 o
             };
             let rr_gamma = lambda_up.max(*step_gamma).max(2);
-            let rr = radius_reduction(
-                engine, params, seeds, rr_gamma, &accum, &old, 2.0, strategy,
-            );
+            let rr = radius_reduction(engine, params, seeds, rr_gamma, &accum, &old, 2.0, strategy);
             let mut ok = true;
             for &v in &accum {
                 match rr.cluster_of[v] {
@@ -175,8 +173,9 @@ mod tests {
 
     fn cluster_net(n: usize, side: f64, seed: u64) -> (Network, Clustering) {
         let mut rng = Rng64::new(seed);
-        let net =
-            Network::builder(deploy::uniform_square(n, side, &mut rng)).build().unwrap();
+        let net = Network::builder(deploy::uniform_square(n, side, &mut rng))
+            .build()
+            .unwrap();
         let params = ProtocolParams::practical();
         let mut seeds = SeedSeq::new(params.seed);
         let mut engine = Engine::new(&net);
@@ -191,7 +190,11 @@ mod tests {
         let (net, cl) = cluster_net(40, 3.0, 77);
         let rep = check_clustering(&net, &cl.cluster_of);
         assert_eq!(rep.unassigned, 0, "every node must be clustered");
-        assert!(rep.max_radius <= 1.0 + 1e-9, "radius {} > 1", rep.max_radius);
+        assert!(
+            rep.max_radius <= 1.0 + 1e-9,
+            "radius {} > 1",
+            rep.max_radius
+        );
         assert!(
             rep.max_clusters_per_unit_ball <= 30,
             "clusters per unit ball {} not O(1)",
@@ -207,7 +210,11 @@ mod tests {
         let rep = check_clustering(&net, &cl.cluster_of);
         assert_eq!(rep.unassigned, 0);
         // A blob of diameter ~1.1 can need a few clusters, but not many.
-        assert!(rep.clusters <= 8, "blob split into {} clusters", rep.clusters);
+        assert!(
+            rep.clusters <= 8,
+            "blob split into {} clusters",
+            rep.clusters
+        );
     }
 
     #[test]

@@ -60,8 +60,8 @@ pub struct BroadcastOutcome {
 }
 
 /// Runs Algorithm 8 from the source set `sources` (pairwise distance
-/// > 1 − ε, the SMSB precondition) with density bound `delta`; `data` is
-/// the broadcast payload.
+/// greater than 1 − ε, the SMSB precondition) with density bound `delta`;
+/// `data` is the broadcast payload.
 pub fn sms_broadcast(
     engine: &mut Engine<'_>,
     params: &ProtocolParams,
@@ -122,26 +122,30 @@ pub fn sms_broadcast(
         let phase_start = engine.round();
 
         // Stage 1: imperfect labeling of the 1-clustered layer.
-        let clusters: Vec<u64> =
-            (0..n).map(|v| cluster_of[v].unwrap_or(0)).collect();
+        let clusters: Vec<u64> = (0..n).map(|v| cluster_of[v].unwrap_or(0)).collect();
         let fs = full_sparsification(engine, params, seeds, delta, &layer, &clusters);
         let lab = imperfect_labeling(engine, &fs, params.kappa);
         let stage1_end = engine.round();
 
         // Stage 2: local broadcast from the layer, label by label; sleepers
         // wake and inherit clusters (2-clustering of the new layer).
-        let label_bound =
-            if params.adaptive { lab.max_label() as usize } else { delta.max(1) };
+        let label_bound = if params.adaptive {
+            lab.max_label() as usize
+        } else {
+            delta.max(1)
+        };
         let mut newly: Vec<usize> = Vec::new();
         for l in 1..=label_bound as u32 {
-            let members: Vec<usize> =
-                layer.iter().copied().filter(|&v| lab.label[v] == l).collect();
+            let members: Vec<usize> = layer
+                .iter()
+                .copied()
+                .filter(|&v| lab.label[v] == l)
+                .collect();
             if members.is_empty() {
                 continue;
             }
             let net = engine.network();
-            let clusters_now: Vec<u64> =
-                (0..n).map(|v| cluster_of[v].unwrap_or(0)).collect();
+            let clusters_now: Vec<u64> = (0..n).map(|v| cluster_of[v].unwrap_or(0)).collect();
             let run = run_sns(engine, params, seeds, &members, |v| Msg::Payload {
                 id: net.id(v),
                 cluster: clusters_now[v],
@@ -238,8 +242,7 @@ mod tests {
         let params = ProtocolParams::practical();
         let mut seeds = SeedSeq::new(params.seed);
         let mut engine = Engine::new(&net);
-        let out =
-            global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 42);
+        let out = global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 42);
         assert!(out.delivered_all, "some nodes never woke: {:?}", out.awake);
         assert!(out.rounds > 0);
         assert!(!out.phases.is_empty());
@@ -251,8 +254,7 @@ mod tests {
         let params = ProtocolParams::practical();
         let mut seeds = SeedSeq::new(params.seed);
         let mut engine = Engine::new(&net);
-        let out =
-            global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 7);
+        let out = global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 7);
         let mut prev = 0;
         for p in &out.phases {
             assert!(p.awake_total >= prev);
@@ -266,12 +268,12 @@ mod tests {
         let params = ProtocolParams::practical();
         let delta = net.density();
         // Two sources at opposite ends (far apart ⇒ valid SMSB input).
-        let left = (0..net.len()).min_by(|&a, &b| {
-            net.pos(a).x.partial_cmp(&net.pos(b).x).unwrap()
-        }).unwrap();
-        let right = (0..net.len()).max_by(|&a, &b| {
-            net.pos(a).x.partial_cmp(&net.pos(b).x).unwrap()
-        }).unwrap();
+        let left = (0..net.len())
+            .min_by(|&a, &b| net.pos(a).x.partial_cmp(&net.pos(b).x).unwrap())
+            .unwrap();
+        let right = (0..net.len())
+            .max_by(|&a, &b| net.pos(a).x.partial_cmp(&net.pos(b).x).unwrap())
+            .unwrap();
 
         let mut seeds1 = SeedSeq::new(params.seed);
         let mut e1 = Engine::new(&net);
@@ -294,8 +296,7 @@ mod tests {
         let params = ProtocolParams::practical();
         let mut seeds = SeedSeq::new(params.seed);
         let mut engine = Engine::new(&net);
-        let out =
-            global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 9);
+        let out = global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 9);
         assert!(out.delivered_all);
         assert!(
             out.local_broadcast_ok,

@@ -83,7 +83,11 @@ pub fn leader_election(
         }
     }
 
-    LeaderOutcome { leader_id: lo, rounds: engine.round() - start, probes }
+    LeaderOutcome {
+        leader_id: lo,
+        rounds: engine.round() - start,
+        probes,
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +106,11 @@ mod tests {
         let mut engine = Engine::new(&net);
         let out = leader_election(&mut engine, &params, &mut seeds, net.density());
         // The leader must be an existing node's ID.
-        assert!(net.index_of(out.leader_id).is_some(), "leader {} not a node", out.leader_id);
+        assert!(
+            net.index_of(out.leader_id).is_some(),
+            "leader {} not a node",
+            out.leader_id
+        );
         assert!(out.probes >= 2);
         assert!(out.rounds > 0);
     }

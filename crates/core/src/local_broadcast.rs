@@ -55,8 +55,9 @@ pub fn local_broadcast(
 
     // Step 1: 1-clustering (Theorem 1).
     let cl = clustering(engine, params, seeds, &all, delta);
-    let cluster_of: Vec<u64> =
-        (0..n).map(|v| cl.cluster_of[v].unwrap_or_else(|| net.id(v))).collect();
+    let cluster_of: Vec<u64> = (0..n)
+        .map(|v| cl.cluster_of[v].unwrap_or_else(|| net.id(v)))
+        .collect();
 
     // Step 2: imperfect labeling (Lemma 11).
     let fs = full_sparsification(engine, params, seeds, delta, &all, &cluster_of);
@@ -65,8 +66,11 @@ pub fn local_broadcast(
     // Step 3: one SNS per label (Alg. 7 lines 3–4). Nodes know the bound ∆;
     // in adaptive mode we stop at the largest label present (observer
     // shortcut — sweeping silent labels costs rounds but changes nothing).
-    let label_bound =
-        if params.adaptive { lab.max_label() as usize } else { delta.max(1) };
+    let label_bound = if params.adaptive {
+        lab.max_label() as usize
+    } else {
+        delta.max(1)
+    };
     let mut heard_by: Vec<HashSet<usize>> = vec![HashSet::new(); n];
     let mut sweeps = 0usize;
     let sweep_start = engine.round();
@@ -113,8 +117,9 @@ mod tests {
 
     fn run(n: usize, side: f64, seed: u64) -> (Network, LocalBroadcastOutcome) {
         let mut rng = Rng64::new(seed);
-        let net =
-            Network::builder(deploy::uniform_square(n, side, &mut rng)).build().unwrap();
+        let net = Network::builder(deploy::uniform_square(n, side, &mut rng))
+            .build()
+            .unwrap();
         let params = ProtocolParams::practical();
         let mut seeds = SeedSeq::new(params.seed);
         let mut engine = Engine::new(&net);
@@ -126,14 +131,20 @@ mod tests {
     #[test]
     fn every_neighbor_hears_every_node() {
         let (_, out) = run(36, 2.5, 101);
-        assert!(out.complete, "local broadcast must reach all comm-graph neighbors");
+        assert!(
+            out.complete,
+            "local broadcast must reach all comm-graph neighbors"
+        );
     }
 
     #[test]
     fn works_on_a_dense_blob() {
         let (_, out) = run(25, 1.0, 102);
         assert!(out.complete);
-        assert!(out.labeling.max_label() >= 2, "dense blob needs several labels");
+        assert!(
+            out.labeling.max_label() >= 2,
+            "dense blob needs several labels"
+        );
     }
 
     #[test]

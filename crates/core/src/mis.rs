@@ -40,11 +40,7 @@ pub enum MisStrategy {
 /// independent set containing the minimum of every component — exactly what
 /// clustered `Sparsification` needs (Lemma 8). Zero communication: nodes
 /// already know their neighbors' IDs from the exchange phase.
-pub fn local_minima(
-    ids: &[u64],
-    members: &[usize],
-    adj: &HashMap<usize, Vec<usize>>,
-) -> Vec<bool> {
+pub fn local_minima(ids: &[u64], members: &[usize], adj: &HashMap<usize, Vec<usize>>) -> Vec<bool> {
     let mut sel = vec![false; ids.len()];
     for &v in members {
         let nbrs = adj.get(&v).map_or(&[][..], |l| l.as_slice());
@@ -90,18 +86,17 @@ fn exchange_states(
 ) -> Vec<Vec<(usize, Msg)>> {
     let n = engine.network().len();
     let mut inbox: Vec<Vec<(usize, Msg)>> = vec![Vec::new(); n];
-    unit.run(
-        engine,
-        |v| msg_of[v],
-        &mut |recv, _lr, sender, m| {
-            if adj.get(&recv).is_some_and(|l| l.binary_search(&sender).is_ok()) {
-                // Deduplicate repeated deliveries of the same sender.
-                if !inbox[recv].iter().any(|&(s, _)| s == sender) {
-                    inbox[recv].push((sender, *m));
-                }
+    unit.run(engine, |v| msg_of[v], &mut |recv, _lr, sender, m| {
+        if adj
+            .get(&recv)
+            .is_some_and(|l| l.binary_search(&sender).is_ok())
+        {
+            // Deduplicate repeated deliveries of the same sender.
+            if !inbox[recv].iter().any(|&(s, _)| s == sender) {
+                inbox[recv].push((sender, *m));
             }
-        },
-    );
+        }
+    });
     inbox
 }
 
@@ -122,7 +117,11 @@ fn greedy_mis(
             break;
         }
         let msg_of: Vec<Msg> = (0..n)
-            .map(|v| Msg::Mis { id: ids[v], in_mis: in_mis[v], decided: decided[v] })
+            .map(|v| Msg::Mis {
+                id: ids[v],
+                in_mis: in_mis[v],
+                decided: decided[v],
+            })
             .collect();
         let inbox = exchange_states(engine, unit, adj, &msg_of);
         // Decide this LOCAL round from the states just heard.
@@ -135,7 +134,12 @@ fn greedy_mis(
             let mut dominated = false;
             let mut is_min = true;
             for &(u, m) in &inbox[v] {
-                if let Msg::Mis { in_mis: u_in, decided: u_dec, .. } = m {
+                if let Msg::Mis {
+                    in_mis: u_in,
+                    decided: u_dec,
+                    ..
+                } = m
+                {
                     if u_in {
                         dominated = true;
                     }
@@ -182,8 +186,12 @@ fn linial_mis(
     let mut guard = 0;
     while m > target {
         let cff = CoverFreeFamily::for_colors(m, degree_bound);
-        let msg_of: Vec<Msg> =
-            (0..n).map(|v| Msg::Color { id: ids[v], color: color[v] }).collect();
+        let msg_of: Vec<Msg> = (0..n)
+            .map(|v| Msg::Color {
+                id: ids[v],
+                color: color[v],
+            })
+            .collect();
         let inbox = exchange_states(engine, unit, adj, &msg_of);
         for &v in members {
             let mut nbr_colors: Vec<u64> = inbox[v]
@@ -205,7 +213,10 @@ fn linial_mis(
         }
         m = next;
         guard += 1;
-        assert!(guard <= 64, "color reduction failed to converge (log* loop)");
+        assert!(
+            guard <= 64,
+            "color reduction failed to converge (log* loop)"
+        );
     }
     // --- Color-class sweep: class c decides in pass c.
     let mut in_mis = vec![false; n];
@@ -215,16 +226,20 @@ fn linial_mis(
             break; // adaptive early exit (observer)
         }
         let msg_of: Vec<Msg> = (0..n)
-            .map(|v| Msg::Mis { id: ids[v], in_mis: in_mis[v], decided: decided[v] })
+            .map(|v| Msg::Mis {
+                id: ids[v],
+                in_mis: in_mis[v],
+                decided: decided[v],
+            })
             .collect();
         let inbox = exchange_states(engine, unit, adj, &msg_of);
         for &v in members {
             if decided[v] {
                 continue;
             }
-            let dominated = inbox[v].iter().any(|&(_, m)| {
-                matches!(m, Msg::Mis { in_mis: true, .. })
-            });
+            let dominated = inbox[v]
+                .iter()
+                .any(|&(_, m)| matches!(m, Msg::Mis { in_mis: true, .. }));
             if dominated {
                 decided[v] = true;
             } else if color[v] == c {
@@ -237,9 +252,7 @@ fn linial_mis(
     // joins if still undominated — preserves maximality.
     for &v in members {
         if !decided[v] {
-            let dominated = adj
-                .get(&v)
-                .is_some_and(|l| l.iter().any(|&u| in_mis[u]));
+            let dominated = adj.get(&v).is_some_and(|l| l.iter().any(|&u| in_mis[u]));
             if !dominated {
                 in_mis[v] = true;
             }
@@ -269,13 +282,17 @@ mod tests {
         for &v in members {
             mask[v] = true;
         }
-        assert!(g.is_mis(sel, Some(&mask)), "not a MIS of the induced subgraph");
+        assert!(
+            g.is_mis(sel, Some(&mask)),
+            "not a MIS of the induced subgraph"
+        );
     }
 
     fn build(netseed: u64, n: usize) -> (Network, ProtocolParams) {
         let mut rng = Rng64::new(netseed);
-        let net =
-            Network::builder(deploy::uniform_square(n, 2.5, &mut rng)).build().unwrap();
+        let net = Network::builder(deploy::uniform_square(n, 2.5, &mut rng))
+            .build()
+            .unwrap();
         (net, ProtocolParams::practical())
     }
 
@@ -300,10 +317,20 @@ mod tests {
         let mut engine = Engine::new(&net);
         let members: Vec<usize> = (0..net.len()).collect();
         let p = build_proximity_graph(
-            &mut engine, &params, &mut seeds, &members, &vec![0; net.len()], false,
+            &mut engine,
+            &params,
+            &mut seeds,
+            &members,
+            &vec![0; net.len()],
+            false,
         );
         let sel = local_mis(
-            &mut engine, &p.unit, &members, &p.adj, params.kappa, net.max_id(),
+            &mut engine,
+            &p.unit,
+            &members,
+            &p.adj,
+            params.kappa,
+            net.max_id(),
             MisStrategy::GreedyById,
         );
         check_mis(&p.adj, net.len(), &sel, &members);
@@ -316,14 +343,27 @@ mod tests {
         let mut engine = Engine::new(&net);
         let members: Vec<usize> = (0..net.len()).collect();
         let p = build_proximity_graph(
-            &mut engine, &params, &mut seeds, &members, &vec![0; net.len()], false,
+            &mut engine,
+            &params,
+            &mut seeds,
+            &members,
+            &vec![0; net.len()],
+            false,
         );
         let sel = local_mis(
-            &mut engine, &p.unit, &members, &p.adj, params.kappa, net.max_id(),
+            &mut engine,
+            &p.unit,
+            &members,
+            &p.adj,
+            params.kappa,
+            net.max_id(),
             MisStrategy::LinialSweep,
         );
         check_mis(&p.adj, net.len(), &sel, &members);
-        assert!(sel.iter().any(|&b| b), "MIS of a nonempty graph is nonempty");
+        assert!(
+            sel.iter().any(|&b| b),
+            "MIS of a nonempty graph is nonempty"
+        );
     }
 
     #[test]
@@ -342,7 +382,12 @@ mod tests {
             &vec![0; net.len()],
         );
         let sel = local_mis(
-            &mut engine, &unit, &members, &adj, params.kappa, net.max_id(),
+            &mut engine,
+            &unit,
+            &members,
+            &adj,
+            params.kappa,
+            net.max_id(),
             MisStrategy::GreedyById,
         );
         assert!(members.iter().all(|&v| sel[v]));

@@ -108,8 +108,23 @@ mod tests {
     fn sender_id_extraction() {
         assert_eq!(Msg::Hello { id: 7, cluster: 1 }.sender_id(), Some(7));
         assert_eq!(Msg::Confirm { from: 3, to: 9 }.sender_id(), Some(3));
-        assert_eq!(Msg::Parent { child: 4, parent: 8 }.sender_id(), Some(4));
-        assert_eq!(Msg::Range { child: 2, lo: 1, hi: 5 }.sender_id(), None);
+        assert_eq!(
+            Msg::Parent {
+                child: 4,
+                parent: 8
+            }
+            .sender_id(),
+            Some(4)
+        );
+        assert_eq!(
+            Msg::Range {
+                child: 2,
+                lo: 1,
+                hi: 5
+            }
+            .sender_id(),
+            None
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ impl Proximity {
 
     /// True iff `{u, v}` is an edge of `H`.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.adj.get(&u).is_some_and(|l| l.binary_search(&v).is_ok())
+        self.adj
+            .get(&u)
+            .is_some_and(|l| l.binary_search(&v).is_ok())
     }
 
     /// Edges as canonical `(min, max)` pairs.
@@ -106,7 +108,10 @@ pub fn build_proximity_graph(
         let net = engine.network();
         unit.run(
             engine,
-            |v| Msg::Hello { id: net.id(v), cluster: cluster_view[v] },
+            |v| Msg::Hello {
+                id: net.id(v),
+                cluster: cluster_view[v],
+            },
             &mut |recv, lr, sender, msg| {
                 if !is_member[recv] {
                     return;
@@ -156,7 +161,10 @@ pub fn build_proximity_graph(
             engine,
             |v| {
                 let to = candidates_ref[v].get(j).map_or(0, |&u| net.id(u));
-                Msg::Confirm { from: net.id(v), to }
+                Msg::Confirm {
+                    from: net.id(v),
+                    to,
+                }
             },
             &mut |recv, _lr, sender, msg| {
                 if let Msg::Confirm { to, .. } = msg {
@@ -211,13 +219,22 @@ mod tests {
         let mut seeds = SeedSeq::new(params.seed);
         let mut engine = Engine::new(net);
         let members: Vec<usize> = (0..net.len()).collect();
-        build_proximity_graph(&mut engine, &params, &mut seeds, &members, &cluster_of, clustered)
+        build_proximity_graph(
+            &mut engine,
+            &params,
+            &mut seeds,
+            &members,
+            &cluster_of,
+            clustered,
+        )
     }
 
     #[test]
     fn degree_is_bounded_by_kappa() {
         let mut rng = Rng64::new(42);
-        let net = Network::builder(deploy::uniform_square(80, 3.0, &mut rng)).build().unwrap();
+        let net = Network::builder(deploy::uniform_square(80, 3.0, &mut rng))
+            .build()
+            .unwrap();
         let p = run_pgc(&net, false, vec![0; net.len()]);
         assert!(p.max_degree() <= ProtocolParams::practical().kappa);
     }
@@ -225,7 +242,9 @@ mod tests {
     #[test]
     fn close_pairs_are_edges_unclustered() {
         let mut rng = Rng64::new(7);
-        let net = Network::builder(deploy::uniform_square(60, 3.0, &mut rng)).build().unwrap();
+        let net = Network::builder(deploy::uniform_square(60, 3.0, &mut rng))
+            .build()
+            .unwrap();
         let gamma = net.density();
         let p = run_pgc(&net, false, vec![0; net.len()]);
         let pairs = close_pairs(net.points(), None, gamma, 1.0, net.params().epsilon);
@@ -247,20 +266,38 @@ mod tests {
         let mut pts = Vec::new();
         let mut rng = Rng64::new(9);
         for i in 0..12 {
-            pts.push(Point::new(rng.range_f64(0.0, 0.5), rng.range_f64(0.0, 0.5) + i as f64 * 0.0));
+            pts.push(Point::new(
+                rng.range_f64(0.0, 0.5),
+                rng.range_f64(0.0, 0.5) + i as f64 * 0.0,
+            ));
         }
         for _ in 0..12 {
-            pts.push(Point::new(5.0 + rng.range_f64(0.0, 0.5), rng.range_f64(0.0, 0.5)));
+            pts.push(Point::new(
+                5.0 + rng.range_f64(0.0, 0.5),
+                rng.range_f64(0.0, 0.5),
+            ));
         }
         let net = Network::builder(pts).build().unwrap();
-        let cluster_of: Vec<u64> =
-            (0..net.len()).map(|v| if v < 12 { 10 } else { 20 }).collect();
+        let cluster_of: Vec<u64> = (0..net.len())
+            .map(|v| if v < 12 { 10 } else { 20 })
+            .collect();
         let p = run_pgc(&net, true, cluster_of.clone());
         let gamma = 12;
-        let pairs = close_pairs(net.points(), Some(&cluster_of), gamma, 1.0, net.params().epsilon);
+        let pairs = close_pairs(
+            net.points(),
+            Some(&cluster_of),
+            gamma,
+            1.0,
+            net.params().epsilon,
+        );
         assert!(!pairs.is_empty());
         for cp in &pairs {
-            assert!(p.has_edge(cp.u, cp.w), "close pair ({}, {}) missing", cp.u, cp.w);
+            assert!(
+                p.has_edge(cp.u, cp.w),
+                "close pair ({}, {}) missing",
+                cp.u,
+                cp.w
+            );
         }
         for (u, w) in p.edges() {
             assert_eq!(cluster_of[u], cluster_of[w], "H edge crosses clusters");
@@ -270,7 +307,9 @@ mod tests {
     #[test]
     fn adjacency_is_symmetric() {
         let mut rng = Rng64::new(13);
-        let net = Network::builder(deploy::uniform_square(50, 2.5, &mut rng)).build().unwrap();
+        let net = Network::builder(deploy::uniform_square(50, 2.5, &mut rng))
+            .build()
+            .unwrap();
         let p = run_pgc(&net, false, vec![0; net.len()]);
         for (&v, l) in &p.adj {
             for &u in l {
@@ -282,8 +321,9 @@ mod tests {
     #[test]
     fn two_isolated_nodes_connect() {
         // A single pair within range is trivially a close pair.
-        let net =
-            Network::builder(vec![Point::new(0.0, 0.0), Point::new(0.3, 0.0)]).build().unwrap();
+        let net = Network::builder(vec![Point::new(0.0, 0.0), Point::new(0.3, 0.0)])
+            .build()
+            .unwrap();
         let p = run_pgc(&net, false, vec![0; 2]);
         assert!(p.has_edge(0, 1));
     }
@@ -291,7 +331,9 @@ mod tests {
     #[test]
     fn non_members_stay_out_of_the_graph() {
         let mut rng = Rng64::new(21);
-        let net = Network::builder(deploy::uniform_square(40, 2.0, &mut rng)).build().unwrap();
+        let net = Network::builder(deploy::uniform_square(40, 2.0, &mut rng))
+            .build()
+            .unwrap();
         let params = ProtocolParams::practical();
         let mut seeds = SeedSeq::new(params.seed);
         let mut engine = Engine::new(&net);

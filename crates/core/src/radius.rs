@@ -34,6 +34,7 @@ pub struct RadiusOutcome {
 
 /// Runs Algorithm 5 on the `r`-clustered set `x` (`old_cluster[v]` = the
 /// existing cluster of `v`; must be assigned for every member).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub fn radius_reduction(
     engine: &mut Engine<'_>,
     params: &ProtocolParams,
@@ -59,8 +60,7 @@ pub fn radius_reduction(
         }
         iterations += 1;
         // (1) Sparsify the remaining nodes down to O(1) per old cluster.
-        let fs =
-            full_sparsification(engine, params, seeds, gamma, &remaining, old_cluster);
+        let fs = full_sparsification(engine, params, seeds, gamma, &remaining, old_cluster);
         let xk: Vec<usize> = fs.last().to_vec();
 
         // (2) Exchange graph G of the survivors via one SNS (Alg. 5 l. 4–5).
@@ -118,7 +118,11 @@ pub fn radius_reduction(
         remaining.retain(|&v| newcluster[v].is_none());
     }
 
-    RadiusOutcome { cluster_of: newcluster, centers, iterations }
+    RadiusOutcome {
+        cluster_of: newcluster,
+        centers,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +146,13 @@ mod tests {
         // Everything in one big cluster "centered" at node 0 — radius ≈ 2·√2.
         let old: Vec<u64> = vec![net.id(0); net.len()];
         let out = radius_reduction(
-            &mut engine, &params, &mut seeds, net.density(), &all, &old, 3.0,
+            &mut engine,
+            &params,
+            &mut seeds,
+            net.density(),
+            &all,
+            &old,
+            3.0,
             MisStrategy::GreedyById,
         );
         assert_eq!(
@@ -151,7 +161,11 @@ mod tests {
             "all nodes must be claimed"
         );
         let rep = check_clustering(&net, &out.cluster_of);
-        assert!(rep.max_radius <= 1.0 + 1e-9, "1-clustering radius, got {}", rep.max_radius);
+        assert!(
+            rep.max_radius <= 1.0 + 1e-9,
+            "1-clustering radius, got {}",
+            rep.max_radius
+        );
         assert!(
             rep.min_center_separation >= 0.5 * (1.0 - net.params().epsilon),
             "centers too close: {}",
@@ -171,7 +185,13 @@ mod tests {
         let all: Vec<usize> = (0..net.len()).collect();
         let old: Vec<u64> = vec![net.id(0); net.len()];
         let out = radius_reduction(
-            &mut engine, &params, &mut seeds, net.density(), &all, &old, 3.0,
+            &mut engine,
+            &params,
+            &mut seeds,
+            net.density(),
+            &all,
+            &old,
+            3.0,
             MisStrategy::GreedyById,
         );
         for v in 0..net.len() {
@@ -187,12 +207,21 @@ mod tests {
 
     #[test]
     fn single_node_becomes_its_own_center() {
-        let net = Network::builder(vec![dcluster_sim::Point::new(0.0, 0.0)]).build().unwrap();
+        let net = Network::builder(vec![dcluster_sim::Point::new(0.0, 0.0)])
+            .build()
+            .unwrap();
         let params = ProtocolParams::practical();
         let mut seeds = SeedSeq::new(params.seed);
         let mut engine = Engine::new(&net);
         let out = radius_reduction(
-            &mut engine, &params, &mut seeds, 1, &[0], &[1], 2.0, MisStrategy::GreedyById,
+            &mut engine,
+            &params,
+            &mut seeds,
+            1,
+            &[0],
+            &[1],
+            2.0,
+            MisStrategy::GreedyById,
         );
         assert_eq!(out.cluster_of[0], Some(net.id(0)));
         assert_eq!(out.centers, vec![0]);

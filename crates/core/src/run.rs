@@ -122,7 +122,9 @@ impl<P: Fn(usize) -> Msg> RoundBehavior<Msg> for UnitBehavior<'_, P> {
     fn transmit(&mut self, _net: &Network, v: usize, round: u64) -> Option<Msg> {
         let (id, cluster) = self.member_of[v]?;
         let lr = round - self.start;
-        self.sched.contains(lr, id, cluster).then(|| (self.payload)(v))
+        self.sched
+            .contains(lr, id, cluster)
+            .then(|| (self.payload)(v))
     }
     fn receive(&mut self, _net: &Network, v: usize, round: u64, sender: usize, msg: &Msg) {
         (self.on_rx)(v, round - self.start, sender, msg);
@@ -140,7 +142,11 @@ impl ReplayUnit {
     ) -> Self {
         let members = nodes
             .iter()
-            .map(|&v| Member { node: v, id: net.id(v), cluster: cluster_of[v] })
+            .map(|&v| Member {
+                node: v,
+                id: net.id(v),
+                cluster: cluster_of[v],
+            })
             .collect();
         Self { sched, members }
     }
@@ -183,8 +189,11 @@ pub fn fresh_wss(params: &ProtocolParams, seeds: &mut SeedSeq, n_univ: u64) -> R
 /// Builds a fresh `(N, κ, ρ)`-wcss for this invocation (clustered proximity
 /// graphs).
 pub fn fresh_wcss(params: &ProtocolParams, seeds: &mut SeedSeq, n_univ: u64) -> RandomWcss {
-    let len =
-        params.sched_len(RandomWcss::recommended_len(n_univ, params.kappa, params.rho));
+    let len = params.sched_len(RandomWcss::recommended_len(
+        n_univ,
+        params.kappa,
+        params.rho,
+    ));
     RandomWcss::with_len(seeds.next_seed(), params.kappa, params.rho, len)
 }
 
@@ -202,7 +211,9 @@ mod tests {
 
     fn small_net() -> Network {
         let mut rng = Rng64::new(1);
-        Network::builder(deploy::uniform_square(30, 2.0, &mut rng)).build().unwrap()
+        Network::builder(deploy::uniform_square(30, 2.0, &mut rng))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -223,23 +234,34 @@ mod tests {
         let mut seeds = SeedSeq::new(3);
         let wss = fresh_wss(&params, &mut seeds, net.max_id());
         let nodes: Vec<usize> = (0..net.len()).collect();
-        let unit =
-            ReplayUnit::snapshot(&net, SchedHandle::Wss(wss), &nodes, &vec![0; net.len()]);
+        let unit = ReplayUnit::snapshot(&net, SchedHandle::Wss(wss), &nodes, &vec![0; net.len()]);
         let mut engine = Engine::new(&net);
         let mut first: Vec<(usize, u64, usize)> = Vec::new();
         unit.run(
             &mut engine,
-            |v| Msg::Hello { id: net.id(v), cluster: 0 },
+            |v| Msg::Hello {
+                id: net.id(v),
+                cluster: 0,
+            },
             &mut |r, lr, s, _| first.push((r, lr, s)),
         );
         let mut second: Vec<(usize, u64, usize)> = Vec::new();
         unit.run(
             &mut engine,
-            |v| Msg::ClusterOf { id: net.id(v), cluster: 7 },
+            |v| Msg::ClusterOf {
+                id: net.id(v),
+                cluster: 7,
+            },
             &mut |r, lr, s, _| second.push((r, lr, s)),
         );
-        assert_eq!(first, second, "same members + same schedule ⇒ same receptions");
-        assert!(!first.is_empty(), "some receptions should occur in a 30-node cloud");
+        assert_eq!(
+            first, second,
+            "same members + same schedule ⇒ same receptions"
+        );
+        assert!(
+            !first.is_empty(),
+            "some receptions should occur in a 30-node cloud"
+        );
     }
 
     #[test]
@@ -255,10 +277,16 @@ mod tests {
         let mut senders: Vec<usize> = Vec::new();
         unit.run(
             &mut engine,
-            |v| Msg::Hello { id: net.id(v), cluster: 0 },
+            |v| Msg::Hello {
+                id: net.id(v),
+                cluster: 0,
+            },
             &mut |_, _, s, _| senders.push(s),
         );
-        assert!(senders.iter().all(|&s| s == 0), "only the member may be heard");
+        assert!(
+            senders.iter().all(|&s| s == 0),
+            "only the member may be heard"
+        );
     }
 
     #[test]

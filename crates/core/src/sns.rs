@@ -31,7 +31,9 @@ impl SnsRun {
 
     /// True iff `receiver` heard `sender` at least once.
     pub fn heard(&self, receiver: usize, sender: usize) -> bool {
-        self.receptions.iter().any(|&(r, s, _)| r == receiver && s == sender)
+        self.receptions
+            .iter()
+            .any(|&(r, s, _)| r == receiver && s == sender)
     }
 }
 
@@ -109,9 +111,16 @@ mod tests {
     fn sns_length_is_logarithmic_in_ids() {
         let mut rng = Rng64::new(5);
         let pts = deploy::uniform_square(20, 4.0, &mut rng);
-        let net_small =
-            Network::builder(pts.clone()).max_id(1_000).seed(1).build().unwrap();
-        let net_big = Network::builder(pts).max_id(1_000_000).seed(1).build().unwrap();
+        let net_small = Network::builder(pts.clone())
+            .max_id(1_000)
+            .seed(1)
+            .build()
+            .unwrap();
+        let net_big = Network::builder(pts)
+            .max_id(1_000_000)
+            .seed(1)
+            .build()
+            .unwrap();
         let params = ProtocolParams::theory();
         let mut seeds = SeedSeq::new(1);
         let s_small = fresh_sns(&params, &mut seeds, net_small.max_id());

@@ -117,7 +117,11 @@ pub fn sparsification(
                 .filter(|&u| y[u])
                 .min_by_key(|&u| net.id(u));
             if let Some(u) = parent {
-                new_links.push(Link { child: v, parent: u, unit: units.len() });
+                new_links.push(Link {
+                    child: v,
+                    parent: u,
+                    unit: units.len(),
+                });
             }
         }
         // Child→parent notification replay (Alg. 2 lines 7–9): children
@@ -132,8 +136,14 @@ pub fn sparsification(
             p.unit.run(
                 engine,
                 |v| match announce[v] {
-                    Some(pid) => Msg::Parent { child: net.id(v), parent: pid },
-                    None => Msg::Hello { id: net.id(v), cluster: cluster_of[v] },
+                    Some(pid) => Msg::Parent {
+                        child: net.id(v),
+                        parent: pid,
+                    },
+                    None => Msg::Hello {
+                        id: net.id(v),
+                        cluster: cluster_of[v],
+                    },
                 },
                 &mut |_recv, _lr, _s, _m| { /* parents learn children */ },
             );
@@ -167,7 +177,12 @@ pub fn sparsification(
     kept.extend(parents_kept);
     kept.sort_unstable();
     kept.dedup();
-    SparsifyOutcome { kept, links, units, iterations }
+    SparsifyOutcome {
+        kept,
+        links,
+        units,
+        iterations,
+    }
 }
 
 /// Outcome of `SparsificationU` (Alg. 3) / `FullSparsification` (Alg. 4):
@@ -205,9 +220,10 @@ impl LevelsOutcome {
 fn merge(base: &mut LevelsOutcome, out: SparsifyOutcome) {
     let offset = base.units.len();
     base.units.extend(out.units);
-    base.links.extend(
-        out.links.into_iter().map(|l| Link { unit: l.unit + offset, ..l }),
-    );
+    base.links.extend(out.links.into_iter().map(|l| Link {
+        unit: l.unit + offset,
+        ..l
+    }));
     base.steps.push(offset..base.units.len());
     base.levels.push(out.kept);
 }
@@ -225,8 +241,12 @@ pub fn sparsification_u(
 ) -> LevelsOutcome {
     let eps = engine.network().params().epsilon;
     let l_bound = params.cap(chi_upper(5.0, 1.0 - eps));
-    let mut out =
-        LevelsOutcome { levels: vec![x.to_vec()], units: Vec::new(), links: Vec::new(), steps: Vec::new() };
+    let mut out = LevelsOutcome {
+        levels: vec![x.to_vec()],
+        units: Vec::new(),
+        links: Vec::new(),
+        steps: Vec::new(),
+    };
     let dummy_clusters = vec![1u64; engine.network().len()];
     for _ in 0..l_bound {
         let current = out.last().to_vec();
@@ -267,8 +287,12 @@ pub fn full_sparsification(
 ) -> LevelsOutcome {
     // k = log_{4/3} Γ  (paper line 2).
     let k = ((gamma.max(2) as f64).ln() / (4.0f64 / 3.0).ln()).ceil() as usize;
-    let mut out =
-        LevelsOutcome { levels: vec![a.to_vec()], units: Vec::new(), links: Vec::new(), steps: Vec::new() };
+    let mut out = LevelsOutcome {
+        levels: vec![a.to_vec()],
+        units: Vec::new(),
+        links: Vec::new(),
+        steps: Vec::new(),
+    };
     let mut lambda = gamma as f64;
     for _ in 0..params.cap(k) {
         let current = out.last().to_vec();
@@ -328,7 +352,9 @@ mod tests {
 
     fn dense_blob_net(n: usize, seed: u64) -> Network {
         let mut rng = Rng64::new(seed);
-        Network::builder(deploy::uniform_square(n, 1.5, &mut rng)).build().unwrap()
+        Network::builder(deploy::uniform_square(n, 1.5, &mut rng))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -342,7 +368,12 @@ mod tests {
         let cluster_of = vec![7u64; net.len()];
         let gamma = net.density();
         let out = sparsification(
-            &mut engine, &params, &mut seeds, gamma, &all, &cluster_of,
+            &mut engine,
+            &params,
+            &mut seeds,
+            gamma,
+            &all,
+            &cluster_of,
             IndependentSetRule::LocalMinima,
         );
         assert!(
@@ -353,8 +384,7 @@ mod tests {
         );
         // Every removed node has a parent in the kept set, same cluster.
         let kept: std::collections::HashSet<_> = out.kept.iter().copied().collect();
-        let mut linked: std::collections::HashSet<_> =
-            out.links.iter().map(|l| l.child).collect();
+        let mut linked: std::collections::HashSet<_> = out.links.iter().map(|l| l.child).collect();
         for &v in &all {
             if !kept.contains(&v) {
                 assert!(linked.remove(&v), "removed node {v} has no parent link");
@@ -374,14 +404,22 @@ mod tests {
         let all: Vec<usize> = (0..net.len()).collect();
         let gamma = net.density();
         let out = sparsification_u(
-            &mut engine, &params, &mut seeds, gamma, &all, MisStrategy::GreedyById,
+            &mut engine,
+            &params,
+            &mut seeds,
+            gamma,
+            &all,
+            MisStrategy::GreedyById,
         );
         let final_density = subset_density(&engine, out.last());
         assert!(
             4 * final_density <= 3 * gamma,
             "density {final_density} not reduced below 3/4·{gamma}"
         );
-        assert!(!out.last().is_empty(), "sparsification must keep at least one node");
+        assert!(
+            !out.last().is_empty(),
+            "sparsification must keep at least one node"
+        );
     }
 
     #[test]
@@ -393,11 +431,19 @@ mod tests {
         let all: Vec<usize> = (0..net.len()).collect();
         let cluster_of = vec![1u64; net.len()];
         let out = full_sparsification(
-            &mut engine, &params, &mut seeds, net.density(), &all, &cluster_of,
+            &mut engine,
+            &params,
+            &mut seeds,
+            net.density(),
+            &all,
+            &cluster_of,
         );
         for w in out.levels.windows(2) {
             let prev: std::collections::HashSet<_> = w[0].iter().copied().collect();
-            assert!(w[1].iter().all(|v| prev.contains(v)), "levels must be nested");
+            assert!(
+                w[1].iter().all(|v| prev.contains(v)),
+                "levels must be nested"
+            );
             assert!(w[1].len() <= w[0].len());
         }
         // Forest sanity: no child is its own ancestor.
@@ -421,10 +467,18 @@ mod tests {
         let all: Vec<usize> = (0..net.len()).collect();
         let cluster_of = vec![1u64; net.len()];
         let out = full_sparsification(
-            &mut engine, &params, &mut seeds, net.density(), &all, &cluster_of,
+            &mut engine,
+            &params,
+            &mut seeds,
+            net.density(),
+            &all,
+            &cluster_of,
         );
         let final_size = max_cluster_size(out.last(), &cluster_of);
-        assert!(final_size <= 8, "final per-cluster density {final_size} not constant-ish");
+        assert!(
+            final_size <= 8,
+            "final per-cluster density {final_size} not constant-ish"
+        );
         assert!(!out.last().is_empty());
     }
 
@@ -437,7 +491,12 @@ mod tests {
         let mut seeds = SeedSeq::new(params.seed);
         let mut engine = Engine::new(&net);
         let out = sparsification(
-            &mut engine, &params, &mut seeds, 2, &[0, 1], &[1, 1],
+            &mut engine,
+            &params,
+            &mut seeds,
+            2,
+            &[0, 1],
+            &[1, 1],
             IndependentSetRule::LocalMinima,
         );
         // The pair is a close pair: one becomes the other's child.

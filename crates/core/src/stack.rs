@@ -43,8 +43,9 @@ impl Stack {
         let n = net.len();
         let all: Vec<usize> = (0..n).collect();
         let cl = clustering(engine, params, seeds, &all, delta);
-        let cluster_of: Vec<u64> =
-            (0..n).map(|v| cl.cluster_of[v].unwrap_or_else(|| net.id(v))).collect();
+        let cluster_of: Vec<u64> = (0..n)
+            .map(|v| cl.cluster_of[v].unwrap_or_else(|| net.id(v)))
+            .collect();
         let fs = full_sparsification(engine, params, seeds, delta, &all, &cluster_of);
         let lab = imperfect_labeling(engine, &fs, params.kappa);
         Self {
@@ -84,8 +85,7 @@ impl Stack {
         let mut heard_by: Vec<HashSet<usize>> = vec![HashSet::new(); n];
         let max_label = self.labeling.max_label();
         for l in 1..=max_label {
-            let members: Vec<usize> =
-                (0..n).filter(|&v| self.labeling.label[v] == l).collect();
+            let members: Vec<usize> = (0..n).filter(|&v| self.labeling.label[v] == l).collect();
             if members.is_empty() {
                 continue;
             }
@@ -117,7 +117,9 @@ mod tests {
 
     fn field() -> Network {
         let mut rng = Rng64::new(401);
-        Network::builder(deploy::uniform_square(35, 2.5, &mut rng)).build().unwrap()
+        Network::builder(deploy::uniform_square(35, 2.5, &mut rng))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -127,9 +129,11 @@ mod tests {
         let mut seeds = SeedSeq::new(params.seed);
         let mut engine = Engine::new(&net);
         let stack = Stack::establish(&mut engine, &params, &mut seeds, net.density());
-        let (rounds, heard) =
-            stack.local_broadcast_round(&mut engine, &mut seeds, |v| v as u64);
-        assert!(stack.complete(&engine, &heard), "steady-state broadcast incomplete");
+        let (rounds, heard) = stack.local_broadcast_round(&mut engine, &mut seeds, |v| v as u64);
+        assert!(
+            stack.complete(&engine, &heard),
+            "steady-state broadcast incomplete"
+        );
         assert!(
             rounds * 10 < stack.setup_rounds,
             "steady state ({rounds}) should be ≫ cheaper than setup ({})",

@@ -36,7 +36,10 @@ pub fn wakeup(
     spontaneous: &[usize],
     delta: usize,
 ) -> WakeupOutcome {
-    assert!(!spontaneous.is_empty(), "wake-up needs at least one active node");
+    assert!(
+        !spontaneous.is_empty(),
+        "wake-up needs at least one active node"
+    );
     let start = engine.round();
     // Step 1: cluster the spontaneously active set; centers form a
     // constant-density set S′ with pairwise separation ≥ 1 − ε.
@@ -86,7 +89,13 @@ mod tests {
         let mut seeds = SeedSeq::new(params.seed);
         let mut engine = Engine::new(&net);
         let spontaneous: Vec<usize> = (0..net.len()).step_by(3).collect();
-        let out = wakeup(&mut engine, &params, &mut seeds, &spontaneous, net.density());
+        let out = wakeup(
+            &mut engine,
+            &params,
+            &mut seeds,
+            &spontaneous,
+            net.density(),
+        );
         assert!(out.all_awake);
         assert!(out.centers >= 1);
     }

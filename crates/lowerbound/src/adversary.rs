@@ -136,8 +136,11 @@ pub fn adversarial_assignment<S: DeterministicStrategy>(
             .copied()
             .filter(|&id| strategy.transmits(id, round, &history))
             .collect();
-        let pool_tx: Vec<u64> =
-            pool.iter().copied().filter(|&id| strategy.transmits(id, round, &history)).collect();
+        let pool_tx: Vec<u64> = pool
+            .iter()
+            .copied()
+            .filter(|&id| strategy.transmits(id, round, &history))
+            .collect();
 
         match (assigned_tx.len(), pool_tx.len()) {
             (_, w) if w >= 2 => {
@@ -194,7 +197,11 @@ pub fn adversarial_assignment<S: DeterministicStrategy>(
         assignment.extend(pool.iter().copied());
     }
     assert_eq!(assignment.len(), core);
-    GameOutcome { assignment, rounds_to_assign: rounds, events }
+    GameOutcome {
+        assignment,
+        rounds_to_assign: rounds,
+        events,
+    }
 }
 
 /// Behavior running `strategy` on a real gadget network: `s` transmits
@@ -299,12 +306,12 @@ mod tests {
         let p = lower_bound_params();
         for delta in [8usize, 16, 24] {
             let g = Gadget::new(delta, &p, 0.0);
-            let strat = RoundRobin { period: (delta + 6) as u64 };
+            let strat = RoundRobin {
+                period: (delta + 6) as u64,
+            };
             let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
             let out = adversarial_assignment(&strat, delta, &ids, 1_000_000);
-            let heard = measure_gadget(
-                &g, &p, &out.assignment, 1000, 1001, &strat, 1_000_000,
-            );
+            let heard = measure_gadget(&g, &p, &out.assignment, 1000, 1001, &strat, 1_000_000);
             let rounds = heard.expect("round robin eventually delivers");
             assert!(
                 rounds as usize >= delta / 2,
@@ -321,8 +328,7 @@ mod tests {
         let strat = HashedCoin { seed: 99, k: 8 };
         let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
         let out = adversarial_assignment(&strat, delta, &ids, 2_000_000);
-        let heard =
-            measure_gadget(&g, &p, &out.assignment, 1000, 1001, &strat, 2_000_000);
+        let heard = measure_gadget(&g, &p, &out.assignment, 1000, 1001, &strat, 2_000_000);
         if let Some(rounds) = heard {
             assert!(
                 rounds as usize >= delta / 4,
@@ -340,8 +346,7 @@ mod tests {
         let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
         let out = adversarial_assignment(&strat, delta, &ids, 2_000_000);
         assert!(out.events >= delta / 2, "the adversary needs Ω(Δ) events");
-        let heard =
-            measure_gadget(&g, &p, &out.assignment, 900, 901, &strat, 2_000_000);
+        let heard = measure_gadget(&g, &p, &out.assignment, 900, 901, &strat, 2_000_000);
         if let Some(rounds) = heard {
             assert!(
                 rounds as usize >= delta / 4,
@@ -364,8 +369,14 @@ mod tests {
                 sparse += 1; // round 3: j = 4, p = 1/16
             }
         }
-        assert!((dense as f64 - 2000.0).abs() < 200.0, "p=1/2 rate: {dense}/4000");
-        assert!((sparse as f64 - 250.0).abs() < 100.0, "p=1/16 rate: {sparse}/4000");
+        assert!(
+            (dense as f64 - 2000.0).abs() < 200.0,
+            "p=1/2 rate: {dense}/4000"
+        );
+        assert!(
+            (sparse as f64 - 250.0).abs() < 100.0,
+            "p=1/16 rate: {sparse}/4000"
+        );
     }
 
     #[test]
@@ -377,15 +388,13 @@ mod tests {
         let strat = RoundRobin { period: 40 };
         let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
         let adv = adversarial_assignment(&strat, delta, &ids, 1_000_000);
-        let adv_rounds =
-            measure_gadget(&g, &p, &adv.assignment, 1000, 1001, &strat, 1_000_000)
-                .expect("delivers");
+        let adv_rounds = measure_gadget(&g, &p, &adv.assignment, 1000, 1001, &strat, 1_000_000)
+            .expect("delivers");
         // Friendly assignment: smallest ID (earliest round-robin slot) last.
         let mut friendly = ids.clone();
         friendly.sort_unstable_by(|a, b| b.cmp(a)); // v_{∆+1} ← id 1
         let fr_rounds =
-            measure_gadget(&g, &p, &friendly, 1000, 1001, &strat, 1_000_000)
-                .expect("delivers");
+            measure_gadget(&g, &p, &friendly, 1000, 1001, &strat, 1_000_000).expect("delivers");
         assert!(
             adv_rounds >= fr_rounds,
             "adversarial ({adv_rounds}) must be ≥ friendly ({fr_rounds})"

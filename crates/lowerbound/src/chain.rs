@@ -84,8 +84,9 @@ pub fn build_chain(gadget_count: usize, delta: usize, params: &SinrParams) -> Ch
     // their graph edge to rounding in the accumulated x coordinates.
     let hop = range * (1.0 - eps) * 0.999;
     // κ = ∆^{1/α} / (1−ε), at least 1 (paper §6).
-    let kappa =
-        ((delta as f64).powf(1.0 / params.alpha) / (1.0 - eps)).ceil().max(1.0) as usize;
+    let kappa = ((delta as f64).powf(1.0 / params.alpha) / (1.0 - eps))
+        .ceil()
+        .max(1.0) as usize;
 
     let mut points: Vec<Point> = Vec::new();
     let mut gadgets = Vec::new();
@@ -107,7 +108,12 @@ pub fn build_chain(gadget_count: usize, delta: usize, params: &SinrParams) -> Ch
         x = points[target].x + hop;
         let _ = gi;
     }
-    Chain { points, gadgets, kappa, delta }
+    Chain {
+        points,
+        gadgets,
+        kappa,
+        delta,
+    }
 }
 
 /// Outcome of a chain broadcast measurement.
@@ -132,7 +138,9 @@ struct ChainRun<'a, S: DeterministicStrategy> {
 impl<S: DeterministicStrategy> RoundBehavior<u64> for ChainRun<'_, S> {
     fn transmit(&mut self, net: &Network, v: usize, round: u64) -> Option<u64> {
         let woke = self.awake_at[v]?;
-        self.strategy.transmits(net.id(v), round - woke, &[]).then(|| net.id(v))
+        self.strategy
+            .transmits(net.id(v), round - woke, &[])
+            .then(|| net.id(v))
     }
     fn receive(&mut self, _net: &Network, v: usize, round: u64, _s: usize, msg: &u64) {
         if self.awake_at[v].is_none() {
@@ -157,17 +165,11 @@ pub fn measure_chain<S: DeterministicStrategy>(
 ) -> ChainMeasurement {
     let n = chain.points.len();
     // IDs: gadget cores get adversarial pools; everyone else sequential.
-    let mut ids: Vec<u64> = vec![0; n];
-    let mut next_id = 1u64;
-    for v in 0..n {
-        ids[v] = next_id;
-        next_id += 1;
-    }
+    let mut ids: Vec<u64> = (1..=n as u64).collect();
     for gi in 0..chain.gadget_count() {
         let core = chain.core_indices(gi);
         let pool: Vec<u64> = core.iter().map(|&v| ids[v]).collect();
-        let game =
-            adversarial_assignment(strategy, chain.delta, &pool, max_rounds.min(500_000));
+        let game = adversarial_assignment(strategy, chain.delta, &pool, max_rounds.min(500_000));
         for (slot, &v) in core.iter().enumerate() {
             ids[v] = game.assignment[slot];
         }
@@ -213,7 +215,10 @@ mod tests {
         let chain = build_chain(3, 8, &p);
         assert_eq!(chain.gadget_count(), 3);
         assert_eq!(chain.points().len(), 3 * (chain.kappa() + 8 + 4));
-        let net = Network::builder(chain.points().to_vec()).params(p).build().unwrap();
+        let net = Network::builder(chain.points().to_vec())
+            .params(p)
+            .build()
+            .unwrap();
         assert!(net.comm_graph().is_connected(), "chain must be connected");
     }
 

@@ -7,7 +7,10 @@ use dcluster_sim::{Network, SinrParams};
 
 /// Builds the gadget as a network with sequential IDs.
 fn gadget_net(g: &Gadget, params: &SinrParams) -> Network {
-    Network::builder(g.points().to_vec()).params(*params).build().expect("valid gadget")
+    Network::builder(g.points().to_vec())
+        .params(*params)
+        .build()
+        .expect("valid gadget")
 }
 
 /// **Fact 2.1**: if `v_i` and `v_j` (`i < j`) transmit, then none of
@@ -42,19 +45,29 @@ pub fn check_fact_2_2(g: &Gadget, params: &SinrParams) -> bool {
     let mut radio = Radio::new();
     // Positive: alone, v_{∆+1} reaches t.
     let alone = radio.resolve(&net, &[last]);
-    if !alone.iter().any(|r| r.receiver == g.target() && r.sender == last) {
+    if !alone
+        .iter()
+        .any(|r| r.receiver == g.target() && r.sender == last)
+    {
         return false;
     }
     // Negative: any companion transmitter silences t.
     for i in 0..=delta {
         let tx = vec![g.core(i), last];
-        if radio.resolve(&net, &tx).iter().any(|r| r.receiver == g.target()) {
+        if radio
+            .resolve(&net, &tx)
+            .iter()
+            .any(|r| r.receiver == g.target())
+        {
             return false;
         }
     }
     // Also: s transmitting together with v_{∆+1} silences t.
     let tx = vec![g.source(), last];
-    !radio.resolve(&net, &tx).iter().any(|r| r.receiver == g.target())
+    !radio
+        .resolve(&net, &tx)
+        .iter()
+        .any(|r| r.receiver == g.target())
 }
 
 /// **Fact 3**: in a Figure 7 chain, the interference any core node of any

@@ -25,7 +25,10 @@ impl Gadget {
     ///
     /// Panics if `delta` is 0 or exceeds [`MAX_DELTA`].
     pub fn new(delta: usize, params: &SinrParams, x0: f64) -> Self {
-        assert!(delta >= 1 && delta <= MAX_DELTA, "delta must be in [1, {MAX_DELTA}]");
+        assert!(
+            (1..=MAX_DELTA).contains(&delta),
+            "delta must be in [1, {MAX_DELTA}]"
+        );
         let eps = params.epsilon;
         let mut points = Vec::with_capacity(delta + 4);
         points.push(Point::new(x0, 0.0)); // s
@@ -38,8 +41,8 @@ impl Gadget {
         // The last core hop is 2ε (Figure 6): v_∆ → v_{∆+1}.
         x += 2.0 * eps;
         points.push(Point::new(x, 0.0)); // v_{∆+1}
-        // t at 1−ε beyond v_{∆+1} (0.999 float-safety margin keeps the
-        // v_{∆+1}–t communication edge robust to accumulated rounding).
+                                         // t at 1−ε beyond v_{∆+1} (0.999 float-safety margin keeps the
+                                         // v_{∆+1}–t communication edge robust to accumulated rounding).
         let range = params.range();
         points.push(Point::new(x + range * (1.0 - eps) * 0.999, 0.0));
         Self { points, delta }

@@ -64,9 +64,15 @@ mod tests {
     fn lower_bound_regime_satisfies_the_standing_assumptions() {
         let p = lower_bound_params();
         assert!(p.alpha > 2.0);
-        assert!(p.beta > 2.0f64.powf(p.alpha), "Fact 2 requires beta > 2^alpha");
+        assert!(
+            p.beta > 2.0f64.powf(p.alpha),
+            "Fact 2 requires beta > 2^alpha"
+        );
         assert!((p.range() - 1.0).abs() < 1e-12);
-        assert!(nu(&p) > 0.0, "nu must be positive for the gadget to wake up");
+        assert!(
+            nu(&p) > 0.0,
+            "nu must be positive for the gadget to wake up"
+        );
     }
 
     #[test]

@@ -167,7 +167,11 @@ mod tests {
                 continue;
             }
             let inter = c.set_of(other).filter(|e| sa.contains(e)).count();
-            assert!(inter <= c.t as usize, "|S_123 ∩ S_{other}| = {inter} > t = {}", c.t);
+            assert!(
+                inter <= c.t as usize,
+                "|S_123 ∩ S_{other}| = {inter} > t = {}",
+                c.t
+            );
         }
     }
 
@@ -204,7 +208,10 @@ mod tests {
         for d in 1..10usize {
             let fp = linial_fixed_point(d);
             let c = CoverFreeFamily::for_colors(fp, d);
-            assert!(c.ground_size() <= fp, "reduction from the fixed point must not grow");
+            assert!(
+                c.ground_size() <= fp,
+                "reduction from the fixed point must not grow"
+            );
         }
     }
 }

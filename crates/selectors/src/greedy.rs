@@ -33,7 +33,10 @@ impl GreedySsf {
         let req_count = n_choose_k(n_univ, k)
             .and_then(|c| c.checked_mul(k as u64))
             .expect("instance too large");
-        assert!(req_count <= 2_000_000, "instance too large: {req_count} requirements");
+        assert!(
+            req_count <= 2_000_000,
+            "instance too large: {req_count} requirements"
+        );
 
         // Enumerate requirements: (k-subset, chosen element).
         let subsets = k_subsets(n_univ, k);
@@ -46,8 +49,9 @@ impl GreedySsf {
         while remaining > 0 {
             // Candidate set: include each id with probability 1/k; keep it
             // only if it satisfies at least one new requirement.
-            let cand: Vec<u64> =
-                (1..=n_univ).filter(|_| rng.chance(1.0 / k as f64)).collect();
+            let cand: Vec<u64> = (1..=n_univ)
+                .filter(|_| rng.chance(1.0 / k as f64))
+                .collect();
             if cand.is_empty() {
                 continue;
             }

@@ -38,7 +38,10 @@ impl RsSsf {
     ///
     /// Panics if `n_univ == 0` or `k == 0`.
     pub fn new(n_univ: u64, k: usize) -> Self {
-        assert!(n_univ > 0 && k > 0, "RsSsf requires a nonempty universe and k ≥ 1");
+        assert!(
+            n_univ > 0 && k > 0,
+            "RsSsf requires a nonempty universe and k ≥ 1"
+        );
         // Find the smallest (t, q): q prime, q > k·t, q^{t+1} > n_univ.
         let mut t = 1u32;
         loop {
@@ -199,8 +202,11 @@ mod tests {
         let mut rng = Rng64::new(31);
         let s = RsSsf::new(500, 4);
         for _ in 0..50 {
-            let set: Vec<u64> =
-                rng.sample_distinct(500, 4).into_iter().map(|v| v + 1).collect();
+            let set: Vec<u64> = rng
+                .sample_distinct(500, 4)
+                .into_iter()
+                .map(|v| v + 1)
+                .collect();
             assert!(verify::is_ssf_for(&s, &set), "selection failed for {set:?}");
         }
     }
@@ -223,8 +229,11 @@ mod tests {
         let mut rng = Rng64::new(77);
         let s = RandomSsf::new(9, 1000, 6, 1.0);
         for _ in 0..30 {
-            let set: Vec<u64> =
-                rng.sample_distinct(1000, 6).into_iter().map(|v| v + 1).collect();
+            let set: Vec<u64> = rng
+                .sample_distinct(1000, 6)
+                .into_iter()
+                .map(|v| v + 1)
+                .collect();
             assert!(verify::is_ssf_for(&s, &set));
         }
     }
@@ -249,7 +258,10 @@ mod tests {
         let l1 = RandomSsf::recommended_len(1000, 4);
         let l2 = RandomSsf::recommended_len(1000, 8);
         let ratio = l2 as f64 / l1 as f64;
-        assert!((ratio - 4.0).abs() < 0.2, "quadratic scaling, got ratio {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 0.2,
+            "quadratic scaling, got ratio {ratio}"
+        );
     }
 
     #[test]

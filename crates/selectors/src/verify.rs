@@ -16,18 +16,15 @@ pub fn selects<S: Schedule + ?Sized>(s: &S, round: u64, set: &[u64], x: u64) -> 
 }
 
 /// First round selecting `x` from `set`, if any.
-pub fn first_selection_round<S: Schedule + ?Sized>(
-    s: &S,
-    set: &[u64],
-    x: u64,
-) -> Option<u64> {
+pub fn first_selection_round<S: Schedule + ?Sized>(s: &S, set: &[u64], x: u64) -> Option<u64> {
     (0..s.len()).find(|&r| selects(s, r, set, x))
 }
 
 /// Checks the ssf property of `s` **for the given set**: every element is
 /// selected by some round.
 pub fn is_ssf_for<S: Schedule + ?Sized>(s: &S, set: &[u64]) -> bool {
-    set.iter().all(|&x| first_selection_round(s, set, x).is_some())
+    set.iter()
+        .all(|&x| first_selection_round(s, set, x).is_some())
 }
 
 /// Checks the witnessed strong selection property for `set` and witness
@@ -35,9 +32,8 @@ pub fn is_ssf_for<S: Schedule + ?Sized>(s: &S, set: &[u64]) -> bool {
 /// `y` (Lemma 2's defining property).
 pub fn is_wss_for<S: Schedule + ?Sized>(s: &S, set: &[u64], y: u64) -> bool {
     debug_assert!(!set.contains(&y));
-    set.iter().all(|&x| {
-        (0..s.len()).any(|r| selects(s, r, set, x) && s.contains(r, y))
-    })
+    set.iter()
+        .all(|&x| (0..s.len()).any(|r| selects(s, r, set, x) && s.contains(r, y)))
 }
 
 /// Checks the wcss property (Lemma 3) for the concrete instance: set `xs`
@@ -45,13 +41,7 @@ pub fn is_wss_for<S: Schedule + ?Sized>(s: &S, set: &[u64], y: u64) -> bool {
 /// set `conflicts`. A round counts only if it is *free* of every
 /// conflicting cluster, which for [`RandomWcss`] means the cluster is not
 /// in the round's allowed set.
-pub fn is_wcss_for(
-    s: &RandomWcss,
-    xs: &[u64],
-    y: u64,
-    phi: u64,
-    conflicts: &[u64],
-) -> bool {
+pub fn is_wcss_for(s: &RandomWcss, xs: &[u64], y: u64, phi: u64, conflicts: &[u64]) -> bool {
     debug_assert!(!xs.contains(&y));
     debug_assert!(!conflicts.contains(&phi));
     xs.iter().all(|&x| {
@@ -75,7 +65,11 @@ pub fn ssf_failure_rate<S: Schedule + ?Sized>(
 ) -> f64 {
     let mut failures = 0usize;
     for _ in 0..trials {
-        let set: Vec<u64> = rng.sample_distinct(n_univ, k).into_iter().map(|v| v + 1).collect();
+        let set: Vec<u64> = rng
+            .sample_distinct(n_univ, k)
+            .into_iter()
+            .map(|v| v + 1)
+            .collect();
         if !is_ssf_for(s, &set) {
             failures += 1;
         }
@@ -119,7 +113,13 @@ mod tests {
         let long = RandomSsf::with_len(1, 6, 2_000);
         let fr_short = ssf_failure_rate(&short, 200, 6, 60, &mut rng);
         let fr_long = ssf_failure_rate(&long, 200, 6, 60, &mut rng);
-        assert!(fr_long <= fr_short, "longer schedule can't be worse: {fr_long} > {fr_short}");
-        assert!(fr_long < 0.05, "theory-scale length should essentially never fail");
+        assert!(
+            fr_long <= fr_short,
+            "longer schedule can't be worse: {fr_long} > {fr_short}"
+        );
+        assert!(
+            fr_long < 0.05,
+            "theory-scale length should essentially never fail"
+        );
     }
 }

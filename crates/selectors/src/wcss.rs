@@ -36,15 +36,17 @@ impl RandomWcss {
     ///
     /// Panics if `k == 0`, `l == 0` or `len == 0`.
     pub fn with_len(seed: u64, k: usize, l: usize, len: u64) -> Self {
-        assert!(k > 0 && l > 0 && len > 0, "RandomWcss requires k, l, len ≥ 1");
+        assert!(
+            k > 0 && l > 0 && len > 0,
+            "RandomWcss requires k, l, len ≥ 1"
+        );
         Self { seed, len, k, l }
     }
 
     /// Creates a family of [`RandomWcss::recommended_len`] rounds scaled by
     /// `factor`.
     pub fn new(seed: u64, n_univ: u64, k: usize, l: usize, factor: f64) -> Self {
-        let len =
-            ((Self::recommended_len(n_univ, k, l) as f64 * factor).ceil() as u64).max(1);
+        let len = ((Self::recommended_len(n_univ, k, l) as f64 * factor).ceil() as u64).max(1);
         Self::with_len(seed, k, l, len)
     }
 
@@ -64,7 +66,7 @@ impl RandomWcss {
     /// of a cluster iff the cluster is not allowed.
     #[inline]
     pub fn cluster_allowed(&self, round: u64, cluster: u64) -> bool {
-        let h = hash64(self.seed ^ 0xC1_05_7E_2, &[round, cluster]);
+        let h = hash64(self.seed ^ 0x0C10_57E2, &[round, cluster]);
         (h as u128 * self.l as u128) >> 64 == 0
     }
 
@@ -108,8 +110,9 @@ mod tests {
         let wcss = RandomWcss::new(33, n_univ, k, l, 1.0);
         for trial in 0..10 {
             let phi = 1 + rng.range_u64(10);
-            let conflicts: Vec<u64> =
-                (0..l as u64).map(|i| 20 + i + 10 * rng.range_u64(3)).collect();
+            let conflicts: Vec<u64> = (0..l as u64)
+                .map(|i| 20 + i + 10 * rng.range_u64(3))
+                .collect();
             assert!(!conflicts.contains(&phi));
             let mut ids = rng.sample_distinct(n_univ, k + 1);
             for v in &mut ids {
@@ -140,8 +143,9 @@ mod tests {
     #[test]
     fn allowed_rate_is_about_one_over_l() {
         let wcss = RandomWcss::with_len(4, 3, 5, 20_000);
-        let hits =
-            (0..wcss.len()).filter(|&r| wcss.cluster_allowed(r, 7)).count() as f64;
+        let hits = (0..wcss.len())
+            .filter(|&r| wcss.cluster_allowed(r, 7))
+            .count() as f64;
         let rate = hits / 20_000.0;
         assert!((rate - 0.2).abs() < 0.02, "allowed rate {rate} ≠ 1/5");
     }
@@ -164,8 +168,6 @@ mod tests {
 
     #[test]
     fn recommended_len_grows_with_l() {
-        assert!(
-            RandomWcss::recommended_len(1000, 4, 8) > RandomWcss::recommended_len(1000, 4, 2)
-        );
+        assert!(RandomWcss::recommended_len(1000, 4, 8) > RandomWcss::recommended_len(1000, 4, 2));
     }
 }

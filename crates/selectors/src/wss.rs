@@ -107,7 +107,11 @@ mod tests {
         let mut rng = Rng64::new(6);
         let wss = RandomWss::new(12, 300, 4, 1.0);
         for _ in 0..25 {
-            let ids: Vec<u64> = rng.sample_distinct(300, 4).into_iter().map(|v| v + 1).collect();
+            let ids: Vec<u64> = rng
+                .sample_distinct(300, 4)
+                .into_iter()
+                .map(|v| v + 1)
+                .collect();
             assert!(verify::is_ssf_for(&wss, &ids));
         }
     }

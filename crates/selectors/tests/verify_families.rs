@@ -1,0 +1,191 @@
+//! Definitional checks of the selector families at small sizes, driven
+//! through `verify.rs`'s property checkers: exhaustive where the universe
+//! is small enough, seeded-random sweeps otherwise.
+
+use dcluster_selectors::{
+    verify, ClusterSchedule, CoverFreeFamily, RandomSsf, RandomWcss, RandomWss, RsSsf,
+};
+use dcluster_sim::rng::Rng64;
+
+/// All `k`-subsets of `[1, n]`, for tiny `n` and `k`.
+fn subsets(n: u64, k: usize) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(start: u64, n: u64, k: usize, cur: &mut Vec<u64>, out: &mut Vec<Vec<u64>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for v in start..=n {
+            cur.push(v);
+            rec(v + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    rec(1, n, k, &mut cur, &mut out);
+    out
+}
+
+#[test]
+fn rs_ssf_selects_every_pair_exhaustively() {
+    // (20, 2)-ssf: every element of every pair must be selected.
+    let ssf = RsSsf::new(20, 2);
+    for set in subsets(20, 2) {
+        assert!(
+            verify::is_ssf_for(&ssf, &set),
+            "RS ssf misses a selection in {set:?}"
+        );
+    }
+}
+
+#[test]
+fn rs_ssf_selects_every_triple_exhaustively() {
+    let ssf = RsSsf::new(12, 3);
+    for set in subsets(12, 3) {
+        assert!(
+            verify::is_ssf_for(&ssf, &set),
+            "RS ssf misses a selection in {set:?}"
+        );
+    }
+}
+
+#[test]
+fn random_ssf_at_theory_length_selects_every_pair() {
+    let ssf = RandomSsf::new(97, 16, 2, 1.0);
+    for set in subsets(16, 2) {
+        assert!(
+            verify::is_ssf_for(&ssf, &set),
+            "random ssf misses a selection in {set:?}"
+        );
+    }
+}
+
+#[test]
+fn wss_witnesses_every_pair_and_outsider_exhaustively() {
+    // Lemma 2 at (N, k) = (12, 2): for every 2-set X and every y outside X,
+    // some round selects each x in X while also containing y.
+    let wss = RandomWss::new(41, 12, 2, 1.0);
+    for set in subsets(12, 2) {
+        for y in 1..=12u64 {
+            if set.contains(&y) {
+                continue;
+            }
+            assert!(
+                verify::is_wss_for(&wss, &set, y),
+                "wss fails for X={set:?}, witness y={y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wss_is_also_an_ssf_by_definition() {
+    let wss = RandomWss::new(41, 12, 2, 1.0);
+    for set in subsets(12, 2) {
+        assert!(verify::is_ssf_for(&wss, &set));
+    }
+}
+
+#[test]
+fn wcss_selects_with_witness_and_conflict_freedom_at_small_sizes() {
+    // Lemma 3 at (N, k, l) = (40, 2, 2), seeded sweep over instances.
+    let wcss = RandomWcss::new(1234, 40, 2, 2, 1.0);
+    let mut rng = Rng64::new(8);
+    for _ in 0..40 {
+        let mut ids: Vec<u64> = rng
+            .sample_distinct(40, 3)
+            .into_iter()
+            .map(|v| v + 1)
+            .collect();
+        let y = ids.pop().unwrap();
+        let phi = 1 + rng.range_u64(10);
+        let c1 = 11 + rng.range_u64(10);
+        let c2 = 21 + rng.range_u64(10);
+        assert!(
+            verify::is_wcss_for(&wcss, &ids, y, phi, &[c1, c2]),
+            "wcss fails for X={ids:?}, y={y}, phi={phi}, conflicts=[{c1},{c2}]"
+        );
+    }
+}
+
+#[test]
+fn wcss_conflict_rounds_are_really_free() {
+    // Directly check the "free of l conflicting clusters" half of Lemma 3:
+    // cluster_allowed must be monotone with the membership test.
+    let wcss = RandomWcss::new(9, 30, 2, 2, 1.0);
+    let mut seen_blocked = false;
+    for r in 0..ClusterSchedule::len(&wcss).min(500) {
+        for cluster in 1..=10u64 {
+            if !wcss.cluster_allowed(r, cluster) {
+                seen_blocked = true;
+                for id in 1..=30u64 {
+                    assert!(
+                        !wcss.contains(r, id, cluster),
+                        "round {r}: id {id} of blocked cluster {cluster} transmits"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        seen_blocked,
+        "expected at least one (round, cluster) exclusion"
+    );
+}
+
+#[test]
+fn cover_free_family_is_exhaustively_cover_free_at_tiny_parameters() {
+    // d = 2 cover-freeness, checked literally: no set is contained in the
+    // union of any two others.
+    let cff = CoverFreeFamily::for_colors(9, 2);
+    let sets: Vec<std::collections::HashSet<u64>> = (0..cff.n_colors())
+        .map(|c| cff.set_of(c).collect())
+        .collect();
+    for (i, si) in sets.iter().enumerate() {
+        for (j, sj) in sets.iter().enumerate() {
+            for (k, sk) in sets.iter().enumerate() {
+                if i == j || i == k || j == k {
+                    continue;
+                }
+                let covered = si.iter().all(|e| sj.contains(e) || sk.contains(e));
+                assert!(!covered, "S_{i} is covered by S_{j} ∪ S_{k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cff_select_free_matches_the_definitional_search() {
+    let cff = CoverFreeFamily::for_colors(50, 3);
+    for own in 0..10u64 {
+        let neighbors: Vec<u64> = (10..13).collect();
+        let fresh = cff
+            .select_free(own, &neighbors)
+            .expect("capacity 3 neighbors");
+        assert!(
+            cff.set_of(own).any(|e| e == fresh),
+            "fresh element not in own set"
+        );
+        for &nb in &neighbors {
+            assert!(
+                cff.set_of(nb).all(|e| e != fresh),
+                "fresh element in neighbor set"
+            );
+        }
+    }
+}
+
+#[test]
+fn verify_selects_agrees_with_first_selection_round() {
+    let ssf = RsSsf::new(20, 2);
+    let set = [3u64, 17];
+    for &x in &set {
+        let r = verify::first_selection_round(&ssf, &set, x)
+            .expect("ssf property guarantees a selection round");
+        assert!(verify::selects(&ssf, r, &set, x));
+        // No earlier round selects x (that is what "first" means).
+        for earlier in 0..r {
+            assert!(!verify::selects(&ssf, earlier, &set, x));
+        }
+    }
+}

@@ -10,7 +10,9 @@ use crate::rng::Rng64;
 
 /// `n` points uniform in the axis-aligned square `[0, side]²`.
 pub fn uniform_square(n: usize, side: f64, rng: &mut Rng64) -> Vec<Point> {
-    (0..n).map(|_| Point::new(rng.range_f64(0.0, side), rng.range_f64(0.0, side))).collect()
+    (0..n)
+        .map(|_| Point::new(rng.range_f64(0.0, side), rng.range_f64(0.0, side)))
+        .collect()
 }
 
 /// `rows × cols` grid with spacing `spacing`, each point jittered uniformly
@@ -60,7 +62,9 @@ pub fn gaussian_clusters(
 /// `n` points on a horizontal line with the given spacing (multi-hop path;
 /// with `spacing ≤ comm_radius` the communication graph is a path).
 pub fn line(n: usize, spacing: f64) -> Vec<Point> {
-    (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect()
+    (0..n)
+        .map(|i| Point::new(i as f64 * spacing, 0.0))
+        .collect()
 }
 
 /// A corridor `length × width` with `n` uniform points — controlled-diameter,
@@ -140,7 +144,9 @@ mod tests {
         let mut rng = Rng64::new(1);
         let pts = uniform_square(500, 3.0, &mut rng);
         assert_eq!(pts.len(), 500);
-        assert!(pts.iter().all(|p| (0.0..3.0).contains(&p.x) && (0.0..3.0).contains(&p.y)));
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..3.0).contains(&p.x) && (0.0..3.0).contains(&p.y)));
     }
 
     #[test]
@@ -186,7 +192,10 @@ mod tests {
         let delta = net.max_degree();
         // Max degree concentrates a bit above the mean target; just check
         // the right ballpark (this guards against unit mistakes).
-        assert!((8..=40).contains(&delta), "max degree {delta} far from target 12");
+        assert!(
+            (8..=40).contains(&delta),
+            "max degree {delta} far from target 12"
+        );
     }
 
     #[test]

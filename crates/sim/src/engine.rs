@@ -172,7 +172,9 @@ mod tests {
     use crate::point::Point;
 
     fn line(n: usize, spacing: f64) -> Network {
-        let pts: Vec<Point> = (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect();
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
         Network::builder(pts).build().unwrap()
     }
 

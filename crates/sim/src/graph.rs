@@ -12,7 +12,9 @@ pub struct Graph {
 impl Graph {
     /// Builds a graph with `n` isolated vertices.
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n] }
+        Self {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Wraps pre-computed adjacency lists (each list must be sorted and
@@ -96,7 +98,7 @@ impl Graph {
         while let Some(v) = q.pop_front() {
             for &u in &self.adj[v] {
                 let u = u as usize;
-                if dist[u] == u32::MAX && mask.map_or(true, |m| m[u]) {
+                if dist[u] == u32::MAX && mask.is_none_or(|m| m[u]) {
                     dist[u] = dist[v] + 1;
                     q.push_back(u);
                 }
@@ -122,8 +124,9 @@ impl Graph {
                 continue;
             }
             let d = self.bfs(s);
-            let comp: Vec<usize> =
-                (0..self.len()).filter(|&v| d[v] != u32::MAX && !seen[v]).collect();
+            let comp: Vec<usize> = (0..self.len())
+                .filter(|&v| d[v] != u32::MAX && !seen[v])
+                .collect();
             for &v in &comp {
                 seen[v] = true;
             }
@@ -158,7 +161,7 @@ impl Graph {
             return None;
         }
         let d0 = self.bfs(0);
-        if d0.iter().any(|&d| d == u32::MAX) {
+        if d0.contains(&u32::MAX) {
             return None;
         }
         let far = (0..self.len()).max_by_key(|&v| d0[v]).unwrap();
@@ -168,15 +171,13 @@ impl Graph {
 
     /// True iff `set` (characteristic vector) is independent.
     pub fn is_independent(&self, set: &[bool]) -> bool {
-        (0..self.len()).all(|v| {
-            !set[v] || self.adj[v].iter().all(|&u| !set[u as usize])
-        })
+        (0..self.len()).all(|v| !set[v] || self.adj[v].iter().all(|&u| !set[u as usize]))
     }
 
     /// True iff `set` is a *maximal* independent set of the subgraph induced
     /// by `mask` (all vertices when `mask` is `None`).
     pub fn is_mis(&self, set: &[bool], mask: Option<&[bool]>) -> bool {
-        let in_mask = |v: usize| mask.map_or(true, |m| m[v]);
+        let in_mask = |v: usize| mask.is_none_or(|m| m[v]);
         if !self.is_independent(set) {
             return false;
         }
@@ -187,7 +188,9 @@ impl Graph {
         (0..self.len()).all(|v| {
             !in_mask(v)
                 || set[v]
-                || self.adj[v].iter().any(|&u| set[u as usize] && in_mask(u as usize))
+                || self.adj[v]
+                    .iter()
+                    .any(|&u| set[u as usize] && in_mask(u as usize))
         })
     }
 }

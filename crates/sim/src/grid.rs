@@ -30,7 +30,10 @@ impl Grid {
     ///
     /// Panics if `cell` is not strictly positive and finite.
     pub fn build(points: &[Point], cell: f64) -> Self {
-        assert!(cell > 0.0 && cell.is_finite(), "grid cell size must be positive");
+        assert!(
+            cell > 0.0 && cell.is_finite(),
+            "grid cell size must be positive"
+        );
         let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
         for (i, p) in points.iter().enumerate() {
             cells.entry(Self::key(p, cell)).or_default().push(i as u32);
@@ -41,10 +44,16 @@ impl Grid {
     /// Builds a grid over a *subset* of the points (e.g. this round's
     /// transmitters); stored indices refer to the original slice.
     pub fn build_subset(points: &[Point], subset: &[usize], cell: f64) -> Self {
-        assert!(cell > 0.0 && cell.is_finite(), "grid cell size must be positive");
+        assert!(
+            cell > 0.0 && cell.is_finite(),
+            "grid cell size must be positive"
+        );
         let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
         for &i in subset {
-            cells.entry(Self::key(&points[i], cell)).or_default().push(i as u32);
+            cells
+                .entry(Self::key(&points[i], cell))
+                .or_default()
+                .push(i as u32);
         }
         Self { cell, cells }
     }
@@ -68,12 +77,12 @@ impl Grid {
         r: f64,
     ) -> impl Iterator<Item = usize> + 'a {
         let r_sq = r * r;
-        self.candidate_cells(center, r).flat_map(move |ids| ids.iter().copied()).filter_map(
-            move |i| {
+        self.candidate_cells(center, r)
+            .flat_map(move |ids| ids.iter().copied())
+            .filter_map(move |i| {
                 let i = i as usize;
                 (points[i].dist_sq(center) <= r_sq).then_some(i)
-            },
-        )
+            })
     }
 
     /// Counts stored points within distance `r` of `center`.
@@ -145,8 +154,9 @@ mod tests {
     use crate::rng::Rng64;
 
     fn brute_within(points: &[Point], c: Point, r: f64) -> Vec<usize> {
-        let mut v: Vec<usize> =
-            (0..points.len()).filter(|&i| points[i].dist(c) <= r).collect();
+        let mut v: Vec<usize> = (0..points.len())
+            .filter(|&i| points[i].dist(c) <= r)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -206,8 +216,11 @@ mod tests {
 
     #[test]
     fn subset_grid_only_sees_subset() {
-        let pts =
-            vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0), Point::new(0.2, 0.0)];
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.0),
+            Point::new(0.2, 0.0),
+        ];
         let grid = Grid::build_subset(&pts, &[0, 2], 1.0);
         let got: Vec<usize> = grid.within(&pts, Point::ORIGIN, 1.0).collect();
         assert_eq!(got.len(), 2);

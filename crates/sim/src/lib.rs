@@ -90,7 +90,13 @@ pub struct SinrParams {
 impl Default for SinrParams {
     fn default() -> Self {
         // α = 3 (paper requires α > 2), β = 2 (> 1), range = (P/(β·noise))^{1/α} = 1.
-        Self { alpha: 3.0, beta: 2.0, noise: 1.0, power: 2.0, epsilon: 0.2 }
+        Self {
+            alpha: 3.0,
+            beta: 2.0,
+            noise: 1.0,
+            power: 2.0,
+            epsilon: 0.2,
+        }
     }
 }
 
@@ -106,7 +112,13 @@ impl SinrParams {
         assert!(beta > 1.0, "SINR model requires threshold beta > 1");
         assert!(noise > 0.0, "SINR model requires positive ambient noise");
         assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0,1)");
-        Self { alpha, beta, noise, power: beta * noise, epsilon }
+        Self {
+            alpha,
+            beta,
+            noise,
+            power: beta * noise,
+            epsilon,
+        }
     }
 
     /// Maximal distance at which a lone transmitter can be heard:

@@ -51,7 +51,10 @@ pub fn density_unclustered(points: &[Point], unit: f64) -> usize {
         return 0;
     }
     let grid = Grid::build(points, unit);
-    (0..points.len()).map(|v| grid.count_within(points, points[v], unit)).max().unwrap()
+    (0..points.len())
+        .map(|v| grid.count_within(points, points[v], unit))
+        .max()
+        .unwrap()
 }
 
 /// Density of a *clustered* set: the largest cluster size (paper §2).
@@ -130,7 +133,9 @@ pub fn close_pairs(
             })
             .collect();
         let ok = nearby.iter().enumerate().all(|(i, &a)| {
-            nearby[i + 1..].iter().all(|&b| points[a].dist(points[b]) >= d / 2.0 - 1e-12)
+            nearby[i + 1..]
+                .iter()
+                .all(|&b| points[a].dist(points[b]) >= d / 2.0 - 1e-12)
         });
         if ok {
             out.push(ClosePair { u, w });
@@ -175,7 +180,12 @@ mod tests {
                     kept.push(p);
                 }
             }
-            assert!(kept.len() <= chi_upper(r1, r2), "packed {} > bound {}", kept.len(), chi_upper(r1, r2));
+            assert!(
+                kept.len() <= chi_upper(r1, r2),
+                "packed {} > bound {}",
+                kept.len(),
+                chi_upper(r1, r2)
+            );
         }
     }
 
@@ -183,7 +193,11 @@ mod tests {
     fn d_gamma_r_shrinks_with_density() {
         assert!(d_gamma_r(100, 1.0) < d_gamma_r(50, 1.0));
         assert!(d_gamma_r(100, 2.0) > d_gamma_r(100, 1.0));
-        assert_eq!(d_gamma_r(4, 1.0), 2.0, "degenerate small gamma returns diameter");
+        assert_eq!(
+            d_gamma_r(4, 1.0),
+            2.0,
+            "degenerate small gamma returns diameter"
+        );
     }
 
     #[test]
@@ -203,7 +217,10 @@ mod tests {
                 .flat_map(|i| ((i + 1)..gamma).map(move |j| (i, j)))
                 .map(|(i, j)| pts[i].dist(pts[j]))
                 .fold(f64::INFINITY, f64::min);
-            assert!(min_pair <= d, "min pair {min_pair} > d_gamma_r {d} for gamma {gamma}");
+            assert!(
+                min_pair <= d,
+                "min pair {min_pair} > d_gamma_r {d} for gamma {gamma}"
+            );
         }
     }
 
@@ -240,10 +257,10 @@ mod tests {
         // u,w at distance 0.4; a third point 0.05 from a fourth inside the
         // ζ-ball violates condition (d) — for gamma where ζ-balls cover them.
         let pts = vec![
-            Point::new(0.0, 0.0),   // u
-            Point::new(0.4, 0.0),   // w
-            Point::new(0.2, 0.3),   // x
-            Point::new(0.2, 0.35),  // y : d(x,y)=0.05 < 0.4/2
+            Point::new(0.0, 0.0),  // u
+            Point::new(0.4, 0.0),  // w
+            Point::new(0.2, 0.3),  // x
+            Point::new(0.2, 0.35), // y : d(x,y)=0.05 < 0.4/2
         ];
         // gamma small -> d_bound = 2.0, ζ = 0.2 ⇒ x,y outside ζ-balls?? ζ=0.4/2=0.2,
         // |x−u| ≈ 0.36 > 0.2. Use gamma so that d_bound is ~0.45: χ inverse.
@@ -276,7 +293,10 @@ mod tests {
                 })
                 .collect();
             let found = close_pairs(&pts, None, gamma, 1.0, 0.2);
-            assert!(!found.is_empty(), "trial {trial}: dense ball without close pair");
+            assert!(
+                !found.is_empty(),
+                "trial {trial}: dense ball without close pair"
+            );
         }
     }
 }

@@ -63,7 +63,13 @@ pub struct Network {
 impl Network {
     /// Starts building a network over the given positions.
     pub fn builder(points: Vec<Point>) -> NetworkBuilder {
-        NetworkBuilder { points, ids: None, max_id: None, params: SinrParams::default(), seed: 0 }
+        NetworkBuilder {
+            points,
+            ids: None,
+            max_id: None,
+            params: SinrParams::default(),
+            seed: 0,
+        }
     }
 
     /// Number of nodes `n`.
@@ -128,7 +134,10 @@ impl Network {
 
     /// Nodes within distance `r` of node `v` **excluding** `v` itself.
     pub fn neighbors_within(&self, v: usize, r: f64) -> Vec<usize> {
-        self.grid.within(&self.points, self.points[v], r).filter(|&u| u != v).collect()
+        self.grid
+            .within(&self.points, self.points[v], r)
+            .filter(|&u| u != v)
+            .collect()
     }
 
     /// Network density Γ: the largest number of nodes in a unit ball
@@ -209,14 +218,20 @@ impl NetworkBuilder {
         let ids = match self.ids {
             Some(ids) => {
                 if ids.len() != n {
-                    return Err(NetworkError::LengthMismatch { points: n, ids: ids.len() });
+                    return Err(NetworkError::LengthMismatch {
+                        points: n,
+                        ids: ids.len(),
+                    });
                 }
                 ids
             }
             None if self.seed == 0 => (1..=n as u64).collect(),
             None => {
                 let mut rng = crate::rng::Rng64::new(self.seed);
-                rng.sample_distinct(max_id, n).into_iter().map(|v| v + 1).collect()
+                rng.sample_distinct(max_id, n)
+                    .into_iter()
+                    .map(|v| v + 1)
+                    .collect()
             }
         };
         let mut id_to_idx = HashMap::with_capacity(n);
@@ -232,13 +247,13 @@ impl NetworkBuilder {
         let grid = Grid::build(&self.points, range);
         let comm_r = self.params.comm_radius();
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for v in 0..n {
+        for (v, nbrs) in adj.iter_mut().enumerate() {
             for u in grid.within(&self.points, self.points[v], comm_r) {
                 if u != v {
-                    adj[v].push(u as u32);
+                    nbrs.push(u as u32);
                 }
             }
-            adj[v].sort_unstable();
+            nbrs.sort_unstable();
         }
         Ok(Network {
             points: self.points,
@@ -278,7 +293,11 @@ mod tests {
 
     #[test]
     fn random_ids_are_distinct_and_in_range() {
-        let net = Network::builder(square(4, 0.5)).seed(99).max_id(1000).build().unwrap();
+        let net = Network::builder(square(4, 0.5))
+            .seed(99)
+            .max_id(1000)
+            .build()
+            .unwrap();
         let mut ids = net.ids().to_vec();
         ids.sort_unstable();
         ids.dedup();
@@ -320,12 +339,18 @@ mod tests {
 
     #[test]
     fn empty_deployment_is_rejected() {
-        assert_eq!(Network::builder(vec![]).build().unwrap_err(), NetworkError::Empty);
+        assert_eq!(
+            Network::builder(vec![]).build().unwrap_err(),
+            NetworkError::Empty
+        );
     }
 
     #[test]
     fn zero_id_is_rejected() {
-        let err = Network::builder(vec![Point::new(0.0, 0.0)]).ids(vec![0]).build().unwrap_err();
+        let err = Network::builder(vec![Point::new(0.0, 0.0)])
+            .ids(vec![0])
+            .build()
+            .unwrap_err();
         assert_eq!(err, NetworkError::IdOutOfRange(0));
     }
 }

@@ -93,7 +93,11 @@ impl Radio {
                 interference += p.signal(net.pos(w).dist(net.pos(u)));
             }
             if s1 >= p.beta * (p.noise + interference) {
-                out.push(Reception { receiver: u, sender: v, slot: self.slot_of[v] as usize });
+                out.push(Reception {
+                    receiver: u,
+                    sender: v,
+                    slot: self.slot_of[v] as usize,
+                });
             }
         }
         out
@@ -108,12 +112,11 @@ impl Radio {
             is_tx[t] = true;
         }
         let mut out = Vec::new();
-        for u in 0..net.len() {
-            if is_tx[u] {
-                continue;
-            }
-            let total: f64 =
-                transmitters.iter().map(|&w| p.signal(net.pos(w).dist(net.pos(u)))).sum();
+        for (u, _) in is_tx.iter().enumerate().filter(|&(_, &tx)| !tx) {
+            let total: f64 = transmitters
+                .iter()
+                .map(|&w| p.signal(net.pos(w).dist(net.pos(u))))
+                .sum();
             let mut decoded: Option<(usize, usize)> = None;
             for (slot, &v) in transmitters.iter().enumerate() {
                 let s = p.signal(net.pos(v).dist(net.pos(u)));
@@ -123,7 +126,11 @@ impl Radio {
                 }
             }
             if let Some((v, slot)) = decoded {
-                out.push(Reception { receiver: u, sender: v, slot });
+                out.push(Reception {
+                    receiver: u,
+                    sender: v,
+                    slot,
+                });
             }
         }
         out
@@ -176,12 +183,19 @@ mod tests {
     #[test]
     fn lone_transmitter_reaches_exactly_its_range() {
         let net = net_of(vec![
-            Point::new(0.0, 0.0),  // transmitter
+            Point::new(0.0, 0.0),   // transmitter
             Point::new(0.999, 0.0), // inside range
             Point::new(1.001, 0.0), // outside range
         ]);
         let got = Radio::new().resolve(&net, &[0]);
-        assert_eq!(got, vec![Reception { receiver: 1, sender: 0, slot: 0 }]);
+        assert_eq!(
+            got,
+            vec![Reception {
+                receiver: 1,
+                sender: 0,
+                slot: 0
+            }]
+        );
     }
 
     #[test]
@@ -208,20 +222,34 @@ mod tests {
     fn close_transmitter_beats_distant_interferer() {
         // Sender 0.1 from receiver, interferer 1.9 away: SINR is huge.
         let net = net_of(vec![
-            Point::new(0.0, 0.0),  // sender
-            Point::new(2.0, 0.0),  // interferer
-            Point::new(0.1, 0.0),  // receiver
+            Point::new(0.0, 0.0), // sender
+            Point::new(2.0, 0.0), // interferer
+            Point::new(0.1, 0.0), // receiver
         ]);
         let got = Radio::new().resolve(&net, &[0, 1]);
-        assert_eq!(got, vec![Reception { receiver: 2, sender: 0, slot: 0 }]);
+        assert_eq!(
+            got,
+            vec![Reception {
+                receiver: 2,
+                sender: 0,
+                slot: 0
+            }]
+        );
     }
 
     #[test]
     fn sinr_matches_reception_threshold() {
-        let net = net_of(vec![Point::new(0.0, 0.0), Point::new(0.7, 0.0), Point::new(1.5, 0.0)]);
+        let net = net_of(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.7, 0.0),
+            Point::new(1.5, 0.0),
+        ]);
         let tx = [0, 2];
         let s = sinr(&net, 0, 1, &tx);
-        let received = Radio::new().resolve(&net, &tx).iter().any(|r| r.receiver == 1);
+        let received = Radio::new()
+            .resolve(&net, &tx)
+            .iter()
+            .any(|r| r.receiver == 1);
         assert_eq!(received, s >= net.params().beta);
     }
 
@@ -235,7 +263,12 @@ mod tests {
                 .map(|_| Point::new(rng.range_f64(0.0, side), rng.range_f64(0.0, side)))
                 .collect();
             let net = Network::builder(pts)
-                .params(SinrParams::normalized(2.5 + rng.next_f64() * 2.0, 1.2 + rng.next_f64(), 1.0, 0.2))
+                .params(SinrParams::normalized(
+                    2.5 + rng.next_f64() * 2.0,
+                    1.2 + rng.next_f64(),
+                    1.0,
+                    0.2,
+                ))
                 .build()
                 .unwrap();
             let k = 1 + rng.range_usize(n);
@@ -246,7 +279,10 @@ mod tests {
             let mut naive = Radio::resolve_naive(&net, &all);
             fast.sort_by_key(|r| r.receiver);
             naive.sort_by_key(|r| r.receiver);
-            assert_eq!(fast, naive, "trial {trial}: fast and naive resolvers disagree");
+            assert_eq!(
+                fast, naive,
+                "trial {trial}: fast and naive resolvers disagree"
+            );
         }
     }
 
@@ -261,7 +297,11 @@ mod tests {
         let rec = Radio::new().resolve(&net, &tx);
         let mut seen = std::collections::HashSet::new();
         for r in &rec {
-            assert!(seen.insert(r.receiver), "receiver {} decoded twice", r.receiver);
+            assert!(
+                seen.insert(r.receiver),
+                "receiver {} decoded twice",
+                r.receiver
+            );
             assert_eq!(tx[r.slot], r.sender, "slot must index the sender");
         }
     }

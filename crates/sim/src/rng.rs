@@ -57,7 +57,9 @@ impl Rng64 {
 
     /// Derives an independent child generator (for parallel sub-streams).
     pub fn fork(&mut self, tag: u64) -> Self {
-        Self { state: hash64(self.next_u64(), &[tag]) }
+        Self {
+            state: hash64(self.next_u64(), &[tag]),
+        }
     }
 
     /// Next raw 64-bit value.
@@ -124,7 +126,10 @@ impl Rng64 {
     ///
     /// Panics if `k > n`.
     pub fn sample_distinct(&mut self, n: u64, k: usize) -> Vec<u64> {
-        assert!(k as u64 <= n, "cannot sample {k} distinct values from 0..{n}");
+        assert!(
+            k as u64 <= n,
+            "cannot sample {k} distinct values from 0..{n}"
+        );
         if (k as u64) * 3 >= n {
             // Dense case: shuffle a full range prefix.
             let mut all: Vec<u64> = (0..n).collect();
@@ -188,7 +193,10 @@ mod tests {
             counts[r.range_usize(10)] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 

@@ -1,0 +1,103 @@
+//! The fast grid-based SINR resolver must return **exactly** the same
+//! receptions as the naive quadratic resolver — the equivalence promised in
+//! `radio.rs`'s module docs. Property-tested over random deployments,
+//! transmitter sets and SINR parameter regimes.
+
+use dcluster_sim::radio::Radio;
+use dcluster_sim::rng::Rng64;
+use dcluster_sim::{Network, Point, Reception, SinrParams};
+use proptest::prelude::*;
+
+/// Canonical ordering so the two resolvers' outputs compare as sets.
+fn sorted(mut receptions: Vec<Reception>) -> Vec<Reception> {
+    receptions.sort_by_key(|r| (r.receiver, r.sender));
+    receptions
+}
+
+fn random_network(n: usize, side: f64, params: SinrParams, rng: &mut Rng64) -> Network {
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.range_f64(0.0, side), rng.range_f64(0.0, side)))
+        .collect();
+    Network::builder(pts)
+        .params(params)
+        .build()
+        .expect("nonempty deployment")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Equivalence on uniform deployments across densities, transmitter
+    /// fractions and (alpha, beta) regimes.
+    #[test]
+    fn fast_resolver_equals_naive(
+        seed in 0u64..10_000,
+        n in 2usize..120,
+        side_tenths in 5u32..80,
+        tx_permille in 1u32..1000,
+        alpha_hundredths in 210u32..500,
+        beta_hundredths in 110u32..400,
+    ) {
+        let params = SinrParams::normalized(
+            alpha_hundredths as f64 / 100.0,
+            beta_hundredths as f64 / 100.0,
+            1.0,
+            0.2,
+        );
+        let mut rng = Rng64::new(seed);
+        let net = random_network(n, side_tenths as f64 / 10.0, params, &mut rng);
+        let tx: Vec<usize> =
+            (0..n).filter(|_| rng.chance(tx_permille as f64 / 1000.0)).collect();
+
+        let fast = sorted(Radio::new().resolve(&net, &tx));
+        let naive = sorted(Radio::resolve_naive(&net, &tx));
+        prop_assert_eq!(
+            fast, naive,
+            "fast and naive resolvers disagree (n={}, |T|={})", n, tx.len()
+        );
+    }
+
+    /// Equivalence when every node transmits (nobody listens) and when a
+    /// single node transmits (pure range test) — the two boundary regimes.
+    #[test]
+    fn fast_resolver_equals_naive_at_boundary_tx_sets(seed in 0u64..10_000, n in 1usize..60) {
+        let mut rng = Rng64::new(seed);
+        let net = random_network(n, 3.0, SinrParams::default(), &mut rng);
+
+        let everyone: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(
+            sorted(Radio::new().resolve(&net, &everyone)),
+            sorted(Radio::resolve_naive(&net, &everyone))
+        );
+
+        let lone = vec![rng.range_usize(n)];
+        prop_assert_eq!(
+            sorted(Radio::new().resolve(&net, &lone)),
+            sorted(Radio::resolve_naive(&net, &lone))
+        );
+    }
+
+    /// Clumped (near-duplicate) positions stress the grid bucketing and the
+    /// short-circuit bound; equivalence must survive them too.
+    #[test]
+    fn fast_resolver_equals_naive_on_clumped_deployments(seed in 0u64..10_000, n in 2usize..80) {
+        let mut rng = Rng64::new(seed ^ 0xc1a9);
+        let mut pts = Vec::with_capacity(n);
+        let mut anchor = Point::new(0.0, 0.0);
+        for i in 0..n {
+            if i % 4 == 0 {
+                anchor = Point::new(rng.range_f64(0.0, 4.0), rng.range_f64(0.0, 4.0));
+            }
+            pts.push(Point::new(
+                anchor.x + rng.range_f64(-1e-3, 1e-3),
+                anchor.y + rng.range_f64(-1e-3, 1e-3),
+            ));
+        }
+        let net = Network::builder(pts).build().expect("nonempty");
+        let tx: Vec<usize> = (0..n).filter(|_| rng.chance(0.4)).collect();
+        prop_assert_eq!(
+            sorted(Radio::new().resolve(&net, &tx)),
+            sorted(Radio::resolve_naive(&net, &tx))
+        );
+    }
+}

@@ -6,9 +6,7 @@
 //! ```
 
 use dcluster::lowerbound::adversary::{HashedCoin, RoundRobin};
-use dcluster::lowerbound::{
-    adversarial_assignment, lower_bound_params, measure_gadget, Gadget,
-};
+use dcluster::lowerbound::{adversarial_assignment, lower_bound_params, measure_gadget, Gadget};
 
 fn main() {
     let p = lower_bound_params();
@@ -25,7 +23,9 @@ fn main() {
         let g = Gadget::new(delta, &p, 0.0);
         let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
 
-        let rr = RoundRobin { period: (delta + 8) as u64 };
+        let rr = RoundRobin {
+            period: (delta + 8) as u64,
+        };
         let game = adversarial_assignment(&rr, delta, &ids, 1_000_000);
         let t = measure_gadget(&g, &p, &game.assignment, 900, 901, &rr, 1_000_000);
         println!(
@@ -35,7 +35,10 @@ fn main() {
             delta / 2
         );
 
-        let hc = HashedCoin { seed: 9, k: (delta / 2).max(2) as u64 };
+        let hc = HashedCoin {
+            seed: 9,
+            k: (delta / 2).max(2) as u64,
+        };
         let game2 = adversarial_assignment(&hc, delta, &ids, 1_000_000);
         let t2 = measure_gadget(&g, &p, &game2.assignment, 900, 901, &hc, 1_000_000);
         println!(

@@ -26,7 +26,14 @@ fn main() {
     let source = (0..net.len())
         .min_by(|&a, &b| net.pos(a).x.partial_cmp(&net.pos(b).x).unwrap())
         .unwrap();
-    let out = global_broadcast(&mut engine, &params, &mut seeds, source, net.density(), 0xBEEF);
+    let out = global_broadcast(
+        &mut engine,
+        &params,
+        &mut seeds,
+        source,
+        net.density(),
+        0xBEEF,
+    );
 
     println!("\nphase | newly awake | awake | rounds");
     for p in &out.phases {
@@ -37,14 +44,16 @@ fn main() {
     }
     println!("\ntotal rounds: {}", out.rounds);
     assert!(out.delivered_all, "broadcast must reach the whole corridor");
-    assert!(out.local_broadcast_ok, "every relay must also serve its own neighbors");
+    assert!(
+        out.local_broadcast_ok,
+        "every relay must also serve its own neighbors"
+    );
 
     // ASCII frontier: bucket nodes by x, show how many are awake (all, by
     // the end) and their cluster count per bucket.
     let buckets = 20usize;
     let max_x = (0..net.len()).map(|v| net.pos(v).x).fold(0.0f64, f64::max);
-    let mut per_bucket: Vec<std::collections::HashSet<u64>> =
-        vec![Default::default(); buckets];
+    let mut per_bucket: Vec<std::collections::HashSet<u64>> = vec![Default::default(); buckets];
     for v in 0..net.len() {
         let b = ((net.pos(v).x / (max_x + 1e-9)) * buckets as f64) as usize;
         if let Some(c) = out.cluster_of[v] {

@@ -11,7 +11,11 @@ use dcluster::prelude::*;
 fn main() {
     let mut rng = Rng64::new(55);
     let pts = deploy::corridor_with_spine(30, 6.0, 1.2, 0.5, &mut rng);
-    let net = Network::builder(pts).seed(3).max_id(10_000).build().expect("valid deployment");
+    let net = Network::builder(pts)
+        .seed(3)
+        .max_id(10_000)
+        .build()
+        .expect("valid deployment");
     println!(
         "network: n = {}, Δ = {}, N (ID space) = {}",
         net.len(),
@@ -24,7 +28,13 @@ fn main() {
     let mut seeds = SeedSeq::new(params.seed);
     let mut engine = Engine::new(&net);
     let spontaneous = vec![0, net.len() / 2, net.len() - 1];
-    let w = wakeup(&mut engine, &params, &mut seeds, &spontaneous, net.density());
+    let w = wakeup(
+        &mut engine,
+        &params,
+        &mut seeds,
+        &spontaneous,
+        net.density(),
+    );
     println!(
         "\nwake-up: {} spontaneous → everyone awake in {} rounds ({} centers)",
         spontaneous.len(),

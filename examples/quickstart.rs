@@ -50,7 +50,10 @@ fn main() {
     // Show a few clusters.
     let mut by_cluster: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
     for v in 0..net.len() {
-        by_cluster.entry(cl.cluster_of[v].unwrap()).or_default().push(v);
+        by_cluster
+            .entry(cl.cluster_of[v].unwrap())
+            .or_default()
+            .push(v);
     }
     for (c, members) in by_cluster.iter().take(5) {
         println!("  cluster {c}: {} nodes", members.len());

@@ -43,11 +43,23 @@ fn main() {
 
     // Randomized baseline (needs Δ and a random tape).
     let gmw = local::gmw_known_delta(&net, delta, 7, 5_000_000);
-    println!("[16] rand  : {} rounds, complete = {}", gmw.rounds, gmw.complete);
+    println!(
+        "[16] rand  : {} rounds, complete = {}",
+        gmw.rounds, gmw.complete
+    );
 
     // Feedback baseline (needs the feedback model feature).
-    let fb = local::feedback(&net, delta, local::FeedbackPreset::HalldorssonMitra, 7, 5_000_000);
-    println!("[19] fdbck : {} rounds, complete = {}", fb.rounds, fb.complete);
+    let fb = local::feedback(
+        &net,
+        delta,
+        local::FeedbackPreset::HalldorssonMitra,
+        7,
+        5_000_000,
+    );
+    println!(
+        "[19] fdbck : {} rounds, complete = {}",
+        fb.rounds, fb.complete
+    );
 
     println!(
         "\nThe paper's point: our deterministic time is only polylog away from \

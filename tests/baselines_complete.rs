@@ -7,7 +7,9 @@ use dcluster::prelude::*;
 
 fn shared_field() -> Network {
     let mut rng = Rng64::new(81);
-    Network::builder(deploy::uniform_square(50, 2.8, &mut rng)).build().unwrap()
+    Network::builder(deploy::uniform_square(50, 2.8, &mut rng))
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -18,10 +20,8 @@ fn all_local_baselines_complete_on_the_shared_field() {
     assert!(local::gmw_known_delta(&net, delta, 7, cap).complete);
     assert!(local::gmw_unknown_delta(&net, 7, cap).complete);
     assert!(local::yu_growth(&net, delta, 7, cap).complete);
-    assert!(local::feedback(&net, delta, local::FeedbackPreset::HalldorssonMitra, 7, cap)
-        .complete);
-    assert!(local::feedback(&net, delta, local::FeedbackPreset::BarenboimPeleg, 7, cap)
-        .complete);
+    assert!(local::feedback(&net, delta, local::FeedbackPreset::HalldorssonMitra, 7, cap).complete);
+    assert!(local::feedback(&net, delta, local::FeedbackPreset::BarenboimPeleg, 7, cap).complete);
     assert!(local::location_grid(&net, delta, 4, 0.05).complete);
 }
 
@@ -69,7 +69,13 @@ fn feedback_trades_energy_rate_for_time() {
     // rate-capped no-feedback baseline spends in its longer run.
     let net = shared_field();
     let delta = net.max_degree().max(1);
-    let fb = local::feedback(&net, delta, local::FeedbackPreset::HalldorssonMitra, 7, 3_000_000);
+    let fb = local::feedback(
+        &net,
+        delta,
+        local::FeedbackPreset::HalldorssonMitra,
+        7,
+        3_000_000,
+    );
     let nofb = local::gmw_known_delta(&net, delta, 7, 3_000_000);
     assert!(fb.complete && nofb.complete);
     assert!(

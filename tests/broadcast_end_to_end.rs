@@ -12,7 +12,9 @@ fn local_on(net: &Network) -> dcluster::core::local_broadcast::LocalBroadcastOut
 #[test]
 fn local_broadcast_on_uniform_field() {
     let mut rng = Rng64::new(61);
-    let net = Network::builder(deploy::uniform_square(45, 3.0, &mut rng)).build().unwrap();
+    let net = Network::builder(deploy::uniform_square(45, 3.0, &mut rng))
+        .build()
+        .unwrap();
     let out = local_on(&net);
     assert!(out.complete);
     assert!(local_broadcast_complete(&net, &out.heard_by));
@@ -21,8 +23,9 @@ fn local_broadcast_on_uniform_field() {
 #[test]
 fn local_broadcast_on_perturbed_grid() {
     let mut rng = Rng64::new(62);
-    let net =
-        Network::builder(deploy::perturbed_grid(5, 8, 0.55, 0.1, &mut rng)).build().unwrap();
+    let net = Network::builder(deploy::perturbed_grid(5, 8, 0.55, 0.1, &mut rng))
+        .build()
+        .unwrap();
     let out = local_on(&net);
     assert!(out.complete);
 }
@@ -71,9 +74,7 @@ fn sms_broadcast_with_three_sources() {
     let sources = vec![by_x[0], by_x[net.len() / 2], by_x[net.len() - 1]];
     for i in 0..sources.len() {
         for j in i + 1..sources.len() {
-            assert!(
-                net.pos(sources[i]).dist(net.pos(sources[j])) > net.params().comm_radius()
-            );
+            assert!(net.pos(sources[i]).dist(net.pos(sources[j])) > net.params().comm_radius());
         }
     }
     let params = ProtocolParams::practical();

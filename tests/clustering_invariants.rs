@@ -3,7 +3,11 @@
 use dcluster::prelude::*;
 use proptest::prelude::*;
 
-fn run_clustering(n: usize, side_tenths: u32, seed: u64) -> (Network, dcluster::core::clustering::Clustering) {
+fn run_clustering(
+    n: usize,
+    side_tenths: u32,
+    seed: u64,
+) -> (Network, dcluster::core::clustering::Clustering) {
     let mut rng = Rng64::new(seed);
     let side = side_tenths as f64 / 10.0;
     let net = Network::builder(deploy::uniform_square(n, side, &mut rng))
@@ -51,7 +55,11 @@ fn clustering_works_on_a_line_topology() {
     assert_eq!(rep.unassigned, 0);
     assert!(rep.max_radius <= 1.0 + 1e-9);
     // A 8.4-length line needs at least ~4 clusters of radius 1.
-    assert!(rep.clusters >= 4, "line split into only {} clusters", rep.clusters);
+    assert!(
+        rep.clusters >= 4,
+        "line split into only {} clusters",
+        rep.clusters
+    );
 }
 
 #[test]
@@ -74,7 +82,10 @@ fn cluster_ids_are_member_ids() {
     // Cluster IDs must be IDs of actual nodes (the centers).
     let (net, cl) = run_clustering(25, 20, 9);
     for c in cl.cluster_of.iter().flatten() {
-        assert!(net.index_of(*c).is_some(), "cluster id {c} is not a node id");
+        assert!(
+            net.index_of(*c).is_some(),
+            "cluster id {c} is not a node id"
+        );
     }
     // Centers list matches the distinct cluster ids.
     let mut ids: Vec<u64> = cl.cluster_of.iter().flatten().copied().collect();

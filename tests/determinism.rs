@@ -5,7 +5,9 @@ use dcluster::prelude::*;
 
 fn field(seed: u64) -> Network {
     let mut rng = Rng64::new(seed);
-    Network::builder(deploy::uniform_square(30, 2.5, &mut rng)).build().unwrap()
+    Network::builder(deploy::uniform_square(30, 2.5, &mut rng))
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -31,7 +33,10 @@ fn different_protocol_seeds_give_different_schedules_same_guarantees() {
     let net = field(72);
     let mut outcomes = Vec::new();
     for seed in [1u64, 2] {
-        let params = ProtocolParams { seed, ..ProtocolParams::practical() };
+        let params = ProtocolParams {
+            seed,
+            ..ProtocolParams::practical()
+        };
         let mut seeds = SeedSeq::new(params.seed);
         let mut engine = Engine::new(&net);
         let out = local_broadcast(&mut engine, &params, &mut seeds, net.density());
@@ -39,7 +44,10 @@ fn different_protocol_seeds_give_different_schedules_same_guarantees() {
         outcomes.push(out.rounds);
     }
     // Round counts will almost surely differ (different selector families).
-    assert_ne!(outcomes[0], outcomes[1], "distinct seeds should yield distinct schedules");
+    assert_ne!(
+        outcomes[0], outcomes[1],
+        "distinct seeds should yield distinct schedules"
+    );
 }
 
 #[test]
@@ -55,6 +63,63 @@ fn global_broadcast_is_reproducible() {
         (out.rounds, out.phases.clone(), out.cluster_of.clone())
     };
     assert_eq!(run(), run());
+}
+
+/// Flattens a cluster assignment to a canonical byte string (little-endian
+/// cluster id per node, `u64::MAX` for unassigned).
+fn cluster_bytes(cluster_of: &[Option<u64>]) -> Vec<u8> {
+    cluster_of
+        .iter()
+        .flat_map(|c| c.unwrap_or(u64::MAX).to_le_bytes())
+        .collect()
+}
+
+#[test]
+fn identical_seedseq_runs_yield_byte_identical_cluster_assignments() {
+    // Stronger than `clustering_is_reproducible`: everything — network,
+    // engine, seed sequence — is rebuilt from scratch per run, and the
+    // resulting `cluster_of` vectors are compared byte for byte.
+    let run = || {
+        let net = field(2718);
+        let params = ProtocolParams::practical();
+        let mut seeds = SeedSeq::new(params.seed);
+        let mut engine = Engine::new(&net);
+        let all: Vec<usize> = (0..net.len()).collect();
+        let cl = clustering(&mut engine, &params, &mut seeds, &all, net.density());
+        cluster_bytes(&cl.cluster_of)
+    };
+    let first = run();
+    let second = run();
+    assert!(!first.is_empty());
+    assert_eq!(
+        first, second,
+        "identical SeedSeq must give byte-identical cluster_of"
+    );
+}
+
+#[test]
+fn distinct_seedseq_values_are_used_not_ignored() {
+    // Guards against a SeedSeq that silently ignores its seed: two protocol
+    // seeds must produce *valid but different* executions somewhere in the
+    // seed range (we scan a few pairs to avoid flaking on a coincidence).
+    let net = field(2719);
+    let assignment = |seed: u64| {
+        let params = ProtocolParams {
+            seed,
+            ..ProtocolParams::practical()
+        };
+        let mut seeds = SeedSeq::new(params.seed);
+        let mut engine = Engine::new(&net);
+        let all: Vec<usize> = (0..net.len()).collect();
+        let cl = clustering(&mut engine, &params, &mut seeds, &all, net.density());
+        (cluster_bytes(&cl.cluster_of), cl.rounds)
+    };
+    let baseline = assignment(1);
+    let differs = (2..8u64).any(|s| assignment(s) != baseline);
+    assert!(
+        differs,
+        "7 distinct protocol seeds all produced identical executions"
+    );
 }
 
 #[test]

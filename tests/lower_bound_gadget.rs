@@ -3,8 +3,7 @@
 use dcluster::lowerbound::adversary::{HashedCoin, RoundRobin, SsfStrategy};
 use dcluster::lowerbound::facts::{check_fact_2_1, check_fact_2_2, check_fact_3};
 use dcluster::lowerbound::{
-    adversarial_assignment, build_chain, lower_bound_params, measure_chain, measure_gadget,
-    Gadget,
+    adversarial_assignment, build_chain, lower_bound_params, measure_chain, measure_gadget, Gadget,
 };
 use dcluster::selectors::RandomSsf;
 
@@ -25,7 +24,9 @@ fn adversary_forces_linear_delay_for_all_strategies() {
     let g = Gadget::new(delta, &p, 0.0);
     let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
 
-    let rr = RoundRobin { period: (delta + 8) as u64 };
+    let rr = RoundRobin {
+        period: (delta + 8) as u64,
+    };
     let game = adversarial_assignment(&rr, delta, &ids, 1_000_000);
     let t = measure_gadget(&g, &p, &game.assignment, 900, 901, &rr, 1_000_000)
         .expect("round robin delivers");
@@ -33,9 +34,7 @@ fn adversary_forces_linear_delay_for_all_strategies() {
 
     let ssf = SsfStrategy(RandomSsf::with_len(3, 8, 200));
     let game2 = adversarial_assignment(&ssf, delta, &ids, 2_000_000);
-    if let Some(t2) =
-        measure_gadget(&g, &p, &game2.assignment, 900, 901, &ssf, 2_000_000)
-    {
+    if let Some(t2) = measure_gadget(&g, &p, &game2.assignment, 900, 901, &ssf, 2_000_000) {
         assert!(t2 as usize >= delta / 4, "ssf strategy: {t2} < Δ/4");
     }
 }
@@ -46,10 +45,11 @@ fn delay_grows_with_delta() {
     let measure = |delta: usize| {
         let g = Gadget::new(delta, &p, 0.0);
         let ids: Vec<u64> = (1..=(delta as u64 + 2)).collect();
-        let strat = RoundRobin { period: 2 * (delta as u64 + 2) };
+        let strat = RoundRobin {
+            period: 2 * (delta as u64 + 2),
+        };
         let game = adversarial_assignment(&strat, delta, &ids, 1_000_000);
-        measure_gadget(&g, &p, &game.assignment, 900, 901, &strat, 1_000_000)
-            .expect("delivers")
+        measure_gadget(&g, &p, &game.assignment, 900, 901, &strat, 1_000_000).expect("delivers")
     };
     let small = measure(8);
     let large = measure(32);
@@ -66,7 +66,10 @@ fn chain_fact3_and_crossing() {
     assert!(check_fact_3(&chain, &p));
     let strat = HashedCoin { seed: 5, k: 4 };
     let m = measure_chain(&chain, &p, &strat, 5_000_000);
-    assert!(m.rounds.is_some(), "broadcast must cross the 2-gadget chain");
+    assert!(
+        m.rounds.is_some(),
+        "broadcast must cross the 2-gadget chain"
+    );
     assert_eq!(m.per_gadget.len(), 2);
 }
 

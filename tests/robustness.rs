@@ -8,7 +8,9 @@ fn starved_schedules_fail_gracefully_not_loudly() {
     // Absurdly short selector schedules: guarantees evaporate, but nothing
     // panics and the outcome reports exactly what happened.
     let mut rng = Rng64::new(91);
-    let net = Network::builder(deploy::uniform_square(30, 2.0, &mut rng)).build().unwrap();
+    let net = Network::builder(deploy::uniform_square(30, 2.0, &mut rng))
+        .build()
+        .unwrap();
     let params = ProtocolParams {
         min_sched_len: 2,
         len_factor: 1e-9,
@@ -20,7 +22,10 @@ fn starved_schedules_fail_gracefully_not_loudly() {
     // With 2-round schedules the broadcast will likely fail — that must be
     // visible in the outcome, not hidden.
     let truly_complete = local_broadcast_complete(&net, &out.heard_by);
-    assert_eq!(out.complete, truly_complete, "outcome must report the truth");
+    assert_eq!(
+        out.complete, truly_complete,
+        "outcome must report the truth"
+    );
 }
 
 #[test]
@@ -61,12 +66,17 @@ fn disconnected_network_broadcast_reports_partial_delivery() {
     let out = global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 1);
     assert!(!out.delivered_all, "cross-component delivery is impossible");
     assert!(out.awake[..10].iter().filter(|&&a| a).count() >= 10 - 1);
-    assert!(out.awake[10..].iter().all(|&a| !a), "the far blob must stay asleep");
+    assert!(
+        out.awake[10..].iter().all(|&a| !a),
+        "the far blob must stay asleep"
+    );
 }
 
 #[test]
 fn single_node_network_is_trivially_fine() {
-    let net = Network::builder(vec![Point::new(0.0, 0.0)]).build().unwrap();
+    let net = Network::builder(vec![Point::new(0.0, 0.0)])
+        .build()
+        .unwrap();
     let params = ProtocolParams::practical();
     let mut seeds = SeedSeq::new(params.seed);
     let mut engine = Engine::new(&net);
@@ -88,15 +98,26 @@ fn theory_parameters_work_on_tiny_instances() {
     let mut seeds = SeedSeq::new(params.seed);
     let mut engine = Engine::new(&net);
     let out = local_broadcast(&mut engine, &params, &mut seeds, net.density());
-    assert!(out.complete, "theory-length schedules must certainly succeed");
+    assert!(
+        out.complete,
+        "theory-length schedules must certainly succeed"
+    );
 }
 
 #[test]
 fn huge_id_space_only_costs_logarithmically() {
     let mut rng = Rng64::new(93);
     let pts = deploy::uniform_square(20, 2.0, &mut rng);
-    let small = Network::builder(pts.clone()).max_id(100).seed(1).build().unwrap();
-    let big = Network::builder(pts).max_id(1_000_000).seed(1).build().unwrap();
+    let small = Network::builder(pts.clone())
+        .max_id(100)
+        .seed(1)
+        .build()
+        .unwrap();
+    let big = Network::builder(pts)
+        .max_id(1_000_000)
+        .seed(1)
+        .build()
+        .unwrap();
     let params = ProtocolParams::practical();
     let run = |net: &Network| {
         let mut seeds = SeedSeq::new(params.seed);

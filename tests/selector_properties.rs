@@ -83,7 +83,11 @@ fn wss_is_stronger_than_ssf_in_practice() {
     let wss = RandomWss::new(3, 150, 3, 1.0);
     let mut rng = Rng64::new(5);
     for _ in 0..20 {
-        let set: Vec<u64> = rng.sample_distinct(150, 3).into_iter().map(|v| v + 1).collect();
+        let set: Vec<u64> = rng
+            .sample_distinct(150, 3)
+            .into_iter()
+            .map(|v| v + 1)
+            .collect();
         assert!(verify::is_ssf_for(&wss, &set));
     }
 }

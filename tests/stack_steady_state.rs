@@ -6,7 +6,9 @@ use dcluster::prelude::*;
 #[test]
 fn stack_delivers_changing_payloads_every_epoch() {
     let mut rng = Rng64::new(501);
-    let net = Network::builder(deploy::uniform_square(30, 2.2, &mut rng)).build().unwrap();
+    let net = Network::builder(deploy::uniform_square(30, 2.2, &mut rng))
+        .build()
+        .unwrap();
     let params = ProtocolParams::practical();
     let mut seeds = SeedSeq::new(params.seed);
     let mut engine = Engine::new(&net);
@@ -24,13 +26,18 @@ fn stack_delivers_changing_payloads_every_epoch() {
     // length class).
     let min = *per_epoch_rounds.iter().min().unwrap() as f64;
     let max = *per_epoch_rounds.iter().max().unwrap() as f64;
-    assert!(max / min < 1.5, "steady-state rounds vary too much: {per_epoch_rounds:?}");
+    assert!(
+        max / min < 1.5,
+        "steady-state rounds vary too much: {per_epoch_rounds:?}"
+    );
 }
 
 #[test]
 fn stack_setup_matches_standalone_clustering_quality() {
     let mut rng = Rng64::new(502);
-    let net = Network::builder(deploy::uniform_square(28, 2.0, &mut rng)).build().unwrap();
+    let net = Network::builder(deploy::uniform_square(28, 2.0, &mut rng))
+        .build()
+        .unwrap();
     let params = ProtocolParams::practical();
     let mut seeds = SeedSeq::new(params.seed);
     let mut engine = Engine::new(&net);
@@ -45,7 +52,9 @@ fn stack_setup_matches_standalone_clustering_quality() {
 #[test]
 fn stack_amortizes_over_many_rounds() {
     let mut rng = Rng64::new(503);
-    let net = Network::builder(deploy::uniform_square(25, 2.0, &mut rng)).build().unwrap();
+    let net = Network::builder(deploy::uniform_square(25, 2.0, &mut rng))
+        .build()
+        .unwrap();
     let params = ProtocolParams::practical();
     let mut seeds = SeedSeq::new(params.seed);
     let mut engine = Engine::new(&net);

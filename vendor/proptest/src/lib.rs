@@ -1,0 +1,314 @@
+//! Minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate reimplements exactly the subset of proptest's public
+//! surface the test suites use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   header and `arg in strategy` parameter lists;
+//! * [`ProptestConfig`] with a `cases` knob;
+//! * integer-range strategies (`0u64..1000`, `2usize..5`, …) via the
+//!   [`Strategy`] trait;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Semantics differ from real proptest in two deliberate ways: sampling is
+//! fully deterministic (seeded from the test name, overridable with the
+//! `PROPTEST_SEED` environment variable), and there is no shrinking — the
+//! failing case's arguments are printed verbatim instead.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Run-time configuration for a [`proptest!`] block.
+///
+/// Mirrors the fields of real proptest's config that this workspace touches,
+/// plus `max_shrink_iters` so that functional-update syntax
+/// (`ProptestConfig { cases: 8, ..ProptestConfig::default() }`) stays
+/// meaningful.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+    /// Accepted for compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A deterministic SplitMix64 generator driving case sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from `name` (typically the property's
+    /// function name) and, if set, the `PROPTEST_SEED` environment variable.
+    pub fn for_property(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(env) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = env.parse::<u64>() {
+                seed ^= extra;
+            }
+        }
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Anything a `proptest!` parameter can be drawn from.
+///
+/// Real proptest's `Strategy` is far richer; this shim only needs uniform
+/// sampling, so a strategy is simply "a thing that can produce a value from
+/// a [`TestRng`]".
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // i128 arithmetic: wide signed ranges (e.g. -100i8..100)
+                // must not overflow the element type.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                if span == 0 {
+                    // Full u64/i64 domain: the offset itself spans 2^64.
+                    return rng.next_u64() as $t;
+                }
+                (*self.start() as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A strategy always yielding clones of one value (`Just` in real proptest).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Defines deterministic property tests over sampled inputs.
+///
+/// Accepts the same shape the real crate does for the patterns used in this
+/// workspace:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+///
+///     // In test code this carries `#[test]`; the attribute is passed through.
+///     fn sum_is_commutative(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// sum_is_commutative(); // run the 16 cases
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::for_property(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome = (|| -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "property '{}' failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            msg,
+                            format!(
+                                concat!($(stringify!($arg), " = {:?}; "),+),
+                                $(&$arg),+
+                            ),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Fails the current property case when `cond` is false.
+///
+/// Only usable inside a [`proptest!`] body (it returns an `Err` from the
+/// generated case closure, like the real macro).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current property case when the two sides are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{} (left: {:?}, right: {:?})",
+                ::std::format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Fails the current property case when the two sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// The imports every proptest suite starts from.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_property("p");
+        let mut b = TestRng::for_property("p");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn signed_and_full_width_ranges_sample_safely() {
+        let mut rng = TestRng::for_property("wide");
+        for _ in 0..500 {
+            let v = Strategy::sample(&(-100i8..100), &mut rng);
+            assert!((-100..100).contains(&v));
+            let w = Strategy::sample(&(i64::MIN..=i64::MAX), &mut rng);
+            let _ = w; // whole domain: must not panic
+            let u = Strategy::sample(&(0u64..=u64::MAX), &mut rng);
+            let _ = u;
+        }
+    }
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = TestRng::for_property("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::sample(&(2usize..=4), &mut rng);
+            assert!((2..=4).contains(&w));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_runnable_tests(a in 0u32..50, b in 1u32..50) {
+            prop_assert!(a < 50, "a out of range: {a}");
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(b, 0);
+        }
+    }
+}
