@@ -1,9 +1,9 @@
-//! Micro-benchmarks of the SINR reception resolver: fast vs naive paths,
-//! across transmitter densities.
+//! Micro-benchmarks of the SINR reception resolver backends — naive
+//! oracle vs grid short-circuit vs cell-aggregated interference — across
+//! transmitter densities.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dcluster_sim::radio::Radio;
-use dcluster_sim::{deploy, rng::Rng64, Network};
+use dcluster_sim::{deploy, rng::Rng64, Network, ResolverKind};
 
 fn bench_resolvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("radio_resolve");
@@ -19,19 +19,16 @@ fn bench_resolvers(c: &mut Criterion) {
         .unwrap();
         for &frac in &[0.05f64, 0.3] {
             let tx: Vec<usize> = (0..n).filter(|_| rng.chance(frac)).collect();
-            group.bench_with_input(
-                BenchmarkId::new("fast", format!("n{n}_tx{}", tx.len())),
-                &tx,
-                |b, tx| {
-                    let mut radio = Radio::new();
-                    b.iter(|| radio.resolve(&net, std::hint::black_box(tx)))
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new("naive", format!("n{n}_tx{}", tx.len())),
-                &tx,
-                |b, tx| b.iter(|| Radio::resolve_naive(&net, std::hint::black_box(tx))),
-            );
+            for kind in ResolverKind::ALL {
+                group.bench_with_input(
+                    BenchmarkId::new(kind.name(), format!("n{n}_tx{}", tx.len())),
+                    &tx,
+                    |b, tx| {
+                        let mut resolver = kind.build();
+                        b.iter(|| resolver.resolve(&net, std::hint::black_box(tx)))
+                    },
+                );
+            }
         }
     }
     group.finish();

@@ -6,13 +6,13 @@
 //! candidate, so candidate sets overflow κ and get purged — losing close
 //! pairs. The wss's witnessed selections guarantee the evidence arrives.
 
-use dcluster_bench::{print_table, write_csv};
+use dcluster_bench::{engine as make_engine, print_table, write_csv};
 use dcluster_core::proximity::build_proximity_graph;
 use dcluster_core::run::{ReplayUnit, SchedHandle, SeedSeq};
 use dcluster_core::{Msg, ProtocolParams};
 use dcluster_selectors::ssf::RandomSsf;
 use dcluster_sim::metrics::close_pairs;
-use dcluster_sim::{deploy, rng::Rng64, Engine, Network};
+use dcluster_sim::{deploy, rng::Rng64, Network};
 
 /// Plain-ssf variant of Alg. 1 (exchange + filter only, no witness
 /// property): returns (candidate overflow purges, close pairs covered).
@@ -24,7 +24,7 @@ fn ssf_variant(net: &Network, params: &ProtocolParams, pairs_total: usize) -> (u
     );
     let nodes: Vec<usize> = (0..net.len()).collect();
     let unit = ReplayUnit::snapshot(net, SchedHandle::Ssf(ssf), &nodes, &vec![0; net.len()]);
-    let mut engine = Engine::new(net);
+    let mut engine = make_engine(net);
     let mut heard: Vec<Vec<(u64, usize)>> = vec![Vec::new(); net.len()];
     unit.run(
         &mut engine,
@@ -84,7 +84,7 @@ fn main() {
 
             // wss (the paper's construction).
             let mut seeds = SeedSeq::new(params.seed);
-            let mut engine = Engine::new(&net);
+            let mut engine = make_engine(&net);
             let members: Vec<usize> = (0..net.len()).collect();
             let p = build_proximity_graph(
                 &mut engine,

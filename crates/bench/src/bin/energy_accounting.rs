@@ -6,9 +6,8 @@
 //! broadcast: this work vs the randomized and feedback baselines.
 
 use dcluster_baselines::local::{self, FeedbackPreset};
-use dcluster_bench::{connected_deployment, print_table, write_csv};
+use dcluster_bench::{connected_deployment, engine as make_engine, print_table, write_csv};
 use dcluster_core::{local_broadcast, ProtocolParams, SeedSeq};
-use dcluster_sim::Engine;
 
 fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -19,7 +18,7 @@ fn main() {
 
         let params = ProtocolParams::practical();
         let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = Engine::new(&net);
+        let mut engine = make_engine(&net);
         let ours = local_broadcast(&mut engine, &params, &mut seeds, net.density());
         assert!(ours.complete);
         let ours_tx = engine.stats().transmissions;

@@ -4,10 +4,10 @@
 //! Prints the per-phase trace (newly awake, clusters, stage rounds) on a
 //! hotspot network like the figure's.
 
-use dcluster_bench::{print_table, write_csv};
+use dcluster_bench::{engine as make_engine, print_table, write_csv};
 use dcluster_core::check::check_clustering;
 use dcluster_core::{global_broadcast, ProtocolParams, SeedSeq};
-use dcluster_sim::{deploy, rng::Rng64, Engine, Network};
+use dcluster_sim::{deploy, rng::Rng64, Network};
 
 fn main() {
     // Three hotspots along a line — black/red/blue clusters of the figure.
@@ -22,7 +22,7 @@ fn main() {
 
     let params = ProtocolParams::practical();
     let mut seeds = SeedSeq::new(params.seed);
-    let mut engine = Engine::new(&net);
+    let mut engine = make_engine(&net);
     let out = global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 99);
     assert!(out.delivered_all);
 

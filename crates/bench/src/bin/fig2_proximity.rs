@@ -2,11 +2,11 @@
 //! filtering, confirmation; every close pair ends up an edge, degrees stay
 //! ≤ κ.
 
-use dcluster_bench::{print_table, write_csv};
+use dcluster_bench::{engine as make_engine, print_table, write_csv};
 use dcluster_core::proximity::build_proximity_graph;
 use dcluster_core::{ProtocolParams, SeedSeq};
 use dcluster_sim::metrics::close_pairs;
-use dcluster_sim::{deploy, rng::Rng64, Engine, Network};
+use dcluster_sim::{deploy, rng::Rng64, Network};
 
 fn main() {
     let params = ProtocolParams::practical();
@@ -17,7 +17,7 @@ fn main() {
             .build()
             .expect("nonempty");
         let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = Engine::new(&net);
+        let mut engine = make_engine(&net);
         let members: Vec<usize> = (0..net.len()).collect();
         let p = build_proximity_graph(
             &mut engine,

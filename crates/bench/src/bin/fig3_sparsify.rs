@@ -1,13 +1,13 @@
 //! **Figure 3** — one sparsification pass, clustered vs unclustered:
 //! densities drop to ≤ ¾Γ; children link to same-cluster parents.
 
-use dcluster_bench::{print_table, write_csv};
+use dcluster_bench::{engine as make_engine, print_table, write_csv};
 use dcluster_core::mis::MisStrategy;
 use dcluster_core::sparsify::{
     sparsification, sparsification_u, subset_density, IndependentSetRule,
 };
 use dcluster_core::{ProtocolParams, SeedSeq};
-use dcluster_sim::{deploy, rng::Rng64, Engine, Network};
+use dcluster_sim::{deploy, rng::Rng64, Network};
 
 fn main() {
     let params = ProtocolParams::practical();
@@ -22,7 +22,7 @@ fn main() {
             .build()
             .expect("nonempty");
         let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = Engine::new(&net);
+        let mut engine = make_engine(&net);
         let all: Vec<usize> = (0..net.len()).collect();
         let gamma = net.density();
         let clusters = vec![1u64; net.len()];

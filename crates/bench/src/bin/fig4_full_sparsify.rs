@@ -1,10 +1,10 @@
 //! **Figure 4** — full sparsification: the level sets `A_0 ⊇ A_1 ⊇ …` and
 //! their (3/4)^i density decay (Lemma 10).
 
-use dcluster_bench::{print_table, write_csv};
+use dcluster_bench::{engine as make_engine, print_table, write_csv};
 use dcluster_core::sparsify::{full_sparsification, max_cluster_size};
 use dcluster_core::{ProtocolParams, SeedSeq};
-use dcluster_sim::{deploy, rng::Rng64, Engine, Network};
+use dcluster_sim::{deploy, rng::Rng64, Network};
 
 fn main() {
     let mut rng = Rng64::new(44);
@@ -13,7 +13,7 @@ fn main() {
         .expect("nonempty");
     let params = ProtocolParams::practical();
     let mut seeds = SeedSeq::new(params.seed);
-    let mut engine = Engine::new(&net);
+    let mut engine = make_engine(&net);
     let all: Vec<usize> = (0..net.len()).collect();
     let gamma = net.density();
     let clusters = vec![1u64; net.len()];

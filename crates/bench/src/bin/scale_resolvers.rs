@@ -1,0 +1,187 @@
+//! **Resolver scaling sweep** — wall clock and agreement of the three
+//! SINR resolver backends on uniform deployments, up to 10⁵ nodes.
+//!
+//! The sweep resolves a fixed number of rounds (deterministic rotating
+//! transmitter sets at two densities) per backend per network size,
+//! records wall clock, and audits that every backend returns identical
+//! receptions (the naive oracle joins the audit only at sizes where its
+//! `O(n·|T|)` cost stays reasonable).
+//!
+//! Scale tiers (`DCLUSTER_SCALE`):
+//!
+//! * `ci` — n up to ≈2·10³; additionally acts as the CI gate: exits
+//!   non-zero if `aggregated` disagrees with `grid` anywhere or its total
+//!   wall clock regresses to more than 2× of `grid`'s.
+//! * `quick` (default) — n up to 2·10⁴.
+//! * `full` — n up to 10⁵ (the ROADMAP scale target).
+//!
+//! Output: markdown table, `results/scale_resolvers.csv`, and
+//! `BENCH_resolvers.json` (committed reference numbers).
+
+use dcluster_bench::{print_table, scale, write_csv, Scale};
+use dcluster_core::check::audit_resolver_equivalence;
+use dcluster_sim::{deploy, rng::Rng64, Network, ResolverKind};
+use std::time::Instant;
+
+/// Rounds resolved per (n, density) configuration.
+const ROUNDS: usize = 8;
+/// Naive oracle joins the audit only up to this size.
+const NAIVE_CAP: usize = 4_000;
+
+struct Row {
+    n: usize,
+    tx_frac: f64,
+    tx_avg: usize,
+    kind: ResolverKind,
+    millis: f64,
+    receptions: u64,
+}
+
+fn main() {
+    let tier = scale();
+    let ns: &[usize] = match tier {
+        Scale::Ci => &[500, 1_000, 2_000],
+        Scale::Quick => &[1_000, 4_000, 20_000],
+        Scale::Full => &[1_000, 10_000, 100_000],
+    };
+    let tx_fracs = [0.05f64, 0.3];
+    // Constant node density (≈40 per unit ball) so |T| — not the geometry —
+    // is what grows along the sweep.
+    let side_of = |n: usize| (n as f64 / 40.0).sqrt() * 2.0;
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut disagreements = 0u32;
+    for &n in ns {
+        let mut rng = Rng64::new(0x5ca1e + n as u64);
+        let net = Network::builder(deploy::uniform_square(n, side_of(n), &mut rng))
+            .build()
+            .expect("nonempty deployment");
+        for &frac in &tx_fracs {
+            // Deterministic rotating transmitter sets: round r transmits the
+            // nodes whose (index + r·stride) hashes under the fraction.
+            let tx_sets: Vec<Vec<usize>> = (0..ROUNDS)
+                .map(|r| {
+                    let mut rr = Rng64::new((n as u64) << 8 | r as u64);
+                    (0..n).filter(|_| rr.chance(frac)).collect()
+                })
+                .collect();
+            let tx_avg = tx_sets.iter().map(Vec::len).sum::<usize>() / ROUNDS;
+
+            let mut audited: Vec<ResolverKind> = vec![ResolverKind::Grid, ResolverKind::Aggregated];
+            if n <= NAIVE_CAP {
+                audited.insert(0, ResolverKind::Naive);
+            }
+            if let Some(d) = audit_resolver_equivalence(&net, &tx_sets, &audited) {
+                disagreements += 1;
+                eprintln!(
+                    "DISAGREEMENT at n={n}, tx_frac={frac}: {} vs {} in audited round {} \
+                     ({} vs {} receptions)",
+                    d.disagreeing,
+                    d.reference,
+                    d.round,
+                    d.got.len(),
+                    d.expected.len()
+                );
+            }
+
+            for kind in audited {
+                let mut resolver = kind.build();
+                let mut out = Vec::new();
+                let mut receptions = 0u64;
+                let start = Instant::now();
+                for tx in &tx_sets {
+                    resolver.resolve_into(&net, tx, &mut out);
+                    receptions += out.len() as u64;
+                }
+                let millis = start.elapsed().as_secs_f64() * 1e3;
+                rows.push(Row {
+                    n,
+                    tx_frac: frac,
+                    tx_avg,
+                    kind,
+                    millis,
+                    receptions,
+                });
+            }
+            eprintln!("done: n={n}, tx_frac={frac}");
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                format!("{:.2}", r.tx_frac),
+                r.tx_avg.to_string(),
+                r.kind.name().to_string(),
+                format!("{:.2}", r.millis),
+                r.receptions.to_string(),
+            ]
+        })
+        .collect();
+    let headers = [
+        "n",
+        "tx_frac",
+        "tx_avg",
+        "resolver",
+        "ms_total",
+        "receptions",
+    ];
+    print_table(
+        &format!("Resolver scaling sweep ({ROUNDS} rounds per config, tier {tier:?})"),
+        &headers,
+        &table,
+    );
+    write_csv("scale_resolvers", &headers, &table);
+    write_json(&rows, tier);
+
+    // CI gate: exact agreement plus bounded regression of the new backend.
+    if disagreements > 0 {
+        eprintln!("FAIL: {disagreements} resolver disagreement(s)");
+        std::process::exit(1);
+    }
+    if tier == Scale::Ci {
+        let total = |k: ResolverKind| -> f64 {
+            rows.iter()
+                .filter(|r| r.kind == k)
+                .map(|r| r.millis)
+                .sum::<f64>()
+        };
+        let (grid, agg) = (total(ResolverKind::Grid), total(ResolverKind::Aggregated));
+        eprintln!("ci gate: grid {grid:.1} ms total, aggregated {agg:.1} ms total");
+        if agg > 2.0 * grid {
+            eprintln!(
+                "FAIL: aggregated resolver regressed >2x vs grid ({agg:.1} ms vs {grid:.1} ms)"
+            );
+            std::process::exit(1);
+        }
+        println!("\nci gate: OK (agreement + wall clock within 2x of grid)");
+    }
+}
+
+/// Writes the committed reference-number artifact (schema: one object per
+/// (n, tx_frac, resolver) with total milliseconds over the rounds).
+fn write_json(rows: &[Row], tier: Scale) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"scale_resolvers\",\n  \"tier\": \"{tier:?}\",\n  \"rounds_per_config\": {ROUNDS},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"tx_frac\": {}, \"tx_avg\": {}, \"resolver\": \"{}\", \"ms_total\": {:.3}, \"receptions\": {}}}{}\n",
+            r.n,
+            r.tx_frac,
+            r.tx_avg,
+            r.kind.name(),
+            r.millis,
+            r.receptions,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_resolvers.json", &out) {
+        Ok(()) => println!("[json] wrote BENCH_resolvers.json"),
+        Err(e) => eprintln!("warning: cannot write BENCH_resolvers.json: {e}"),
+    }
+}

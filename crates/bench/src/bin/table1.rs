@@ -7,9 +7,10 @@
 //! location row is deterministic but pays more.
 
 use dcluster_baselines::local::{self, FeedbackPreset};
-use dcluster_bench::{connected_deployment, full_scale, print_table, write_csv};
+use dcluster_bench::{
+    connected_deployment, engine as make_engine, full_scale, print_table, write_csv,
+};
 use dcluster_core::{local_broadcast, ProtocolParams, SeedSeq};
-use dcluster_sim::Engine;
 
 fn main() {
     let deltas: Vec<usize> = if full_scale() {
@@ -40,7 +41,7 @@ fn main() {
         let net = connected_deployment(n, delta, 42 + di as u64);
         let params = ProtocolParams::practical();
         let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = Engine::new(&net);
+        let mut engine = make_engine(&net);
         let out = local_broadcast(&mut engine, &params, &mut seeds, net.density());
         assert!(out.complete, "this-work local broadcast must complete");
         ours.push((out.rounds, out.sweep_rounds));

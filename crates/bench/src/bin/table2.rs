@@ -8,9 +8,9 @@
 //! extra features help *globally* (Theorem 6) but not locally.
 
 use dcluster_baselines::global;
-use dcluster_bench::{full_scale, print_table, write_csv};
+use dcluster_bench::{engine as make_engine, full_scale, print_table, write_csv};
 use dcluster_core::{global_broadcast, ProtocolParams, SeedSeq};
-use dcluster_sim::{deploy, rng::Rng64, Engine, Network};
+use dcluster_sim::{deploy, rng::Rng64, Network};
 
 fn corridor(len: f64, n: usize, seed: u64) -> Network {
     let mut rng = Rng64::new(seed);
@@ -63,7 +63,7 @@ fn main() {
                 _ => {
                     let params = ProtocolParams::practical();
                     let mut seeds = SeedSeq::new(params.seed);
-                    let mut engine = Engine::new(net);
+                    let mut engine = make_engine(net);
                     let out =
                         global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 1);
                     assert!(out.delivered_all, "this-work broadcast must complete");

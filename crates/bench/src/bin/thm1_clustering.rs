@@ -2,11 +2,12 @@
 //! and ~logarithmically in N (ID space); invariants (i)–(ii) hold
 //! throughout.
 
-use dcluster_bench::{connected_deployment, full_scale, print_table, write_csv};
+use dcluster_bench::{
+    connected_deployment, engine as make_engine, full_scale, print_table, write_csv,
+};
 use dcluster_core::check::check_clustering;
 use dcluster_core::clustering::clustering;
 use dcluster_core::{ProtocolParams, SeedSeq};
-use dcluster_sim::Engine;
 
 fn main() {
     let params = ProtocolParams::practical();
@@ -22,7 +23,7 @@ fn main() {
         let net = connected_deployment(n, delta, 700 + i as u64);
         let gamma = net.density();
         let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = Engine::new(&net);
+        let mut engine = make_engine(&net);
         let all: Vec<usize> = (0..net.len()).collect();
         let cl = clustering(&mut engine, &params, &mut seeds, &all, gamma);
         let rep = check_clustering(&net, &cl.cluster_of);

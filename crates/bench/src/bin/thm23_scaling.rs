@@ -3,9 +3,11 @@
 //! the universal Ω(Δ)); global broadcast rounds/(D·Δ) likewise
 //! (Theorem 3).
 
-use dcluster_bench::{connected_deployment, full_scale, print_table, write_csv};
+use dcluster_bench::{
+    connected_deployment, engine as make_engine, full_scale, print_table, write_csv,
+};
 use dcluster_core::{global_broadcast, local_broadcast, ProtocolParams, SeedSeq};
-use dcluster_sim::{deploy, rng::Rng64, Engine, Network};
+use dcluster_sim::{deploy, rng::Rng64, Network};
 
 fn main() {
     let params = ProtocolParams::practical();
@@ -21,7 +23,7 @@ fn main() {
         let net = connected_deployment(70, delta, 300 + i as u64);
         let gamma = net.density();
         let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = Engine::new(&net);
+        let mut engine = make_engine(&net);
         let out = local_broadcast(&mut engine, &params, &mut seeds, gamma);
         assert!(out.complete);
         rows.push(vec![
@@ -53,7 +55,7 @@ fn main() {
         let d = net.comm_graph().diameter().unwrap_or(1).max(1);
         let gamma = net.density();
         let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = Engine::new(&net);
+        let mut engine = make_engine(&net);
         let out = global_broadcast(&mut engine, &params, &mut seeds, 0, gamma, 1);
         assert!(out.delivered_all);
         rows.push(vec![

@@ -1,10 +1,10 @@
 //! **Theorems 4–5** — wake-up and leader election on multi-hop networks.
 
-use dcluster_bench::{print_table, write_csv};
+use dcluster_bench::{engine as make_engine, print_table, write_csv};
 use dcluster_core::leader::leader_election;
 use dcluster_core::wakeup::wakeup;
 use dcluster_core::{ProtocolParams, SeedSeq};
-use dcluster_sim::{deploy, rng::Rng64, Engine, Network};
+use dcluster_sim::{deploy, rng::Rng64, Network};
 
 fn main() {
     let params = ProtocolParams::practical();
@@ -20,20 +20,20 @@ fn main() {
 
         // Theorem 4: wake-up from a single spontaneous node.
         let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = Engine::new(&net);
+        let mut engine = make_engine(&net);
         let w = wakeup(&mut engine, &params, &mut seeds, &[0], delta);
         assert!(w.all_awake);
 
         // Theorem 4: wake-up from scattered spontaneous nodes.
         let mut seeds2 = SeedSeq::new(params.seed);
-        let mut engine2 = Engine::new(&net);
+        let mut engine2 = make_engine(&net);
         let spont: Vec<usize> = (0..net.len()).step_by(5).collect();
         let w2 = wakeup(&mut engine2, &params, &mut seeds2, &spont, delta);
         assert!(w2.all_awake);
 
         // Theorem 5: leader election.
         let mut seeds3 = SeedSeq::new(params.seed);
-        let mut engine3 = Engine::new(&net);
+        let mut engine3 = make_engine(&net);
         let le = leader_election(&mut engine3, &params, &mut seeds3, delta);
 
         rows.push(vec![

@@ -76,12 +76,63 @@ pub fn write_csv<H: Display, C: Display>(name: &str, headers: &[H], rows: &[Vec<
     }
 }
 
-/// Scale knob for experiment sizes: `DCLUSTER_SCALE=quick|full` (default
-/// quick). `full` roughly doubles network sizes and sweep points.
+/// Experiment size tier, from the `DCLUSTER_SCALE` env var.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scale {
+    /// CI smoke tier (`DCLUSTER_SCALE=ci`): small enough for a gate job.
+    Ci,
+    /// Default interactive tier.
+    Quick,
+    /// Paper-scale tier (`DCLUSTER_SCALE=full`): roughly doubles network
+    /// sizes and sweep points; `scale_resolvers` sweeps to 10⁵ nodes.
+    Full,
+}
+
+/// Scale knob for experiment sizes: `DCLUSTER_SCALE=ci|quick|full`
+/// (default quick; unknown values fall back to quick).
+pub fn scale() -> Scale {
+    match std::env::var("DCLUSTER_SCALE").as_deref() {
+        Ok("ci") => Scale::Ci,
+        Ok("full") => Scale::Full,
+        _ => Scale::Quick,
+    }
+}
+
+/// True iff running at the paper-scale tier (legacy helper).
 pub fn full_scale() -> bool {
-    std::env::var("DCLUSTER_SCALE")
-        .map(|v| v == "full")
-        .unwrap_or(false)
+    scale() == Scale::Full
+}
+
+/// Resolver backend override for the harness binaries: `--resolver=KIND`
+/// or `--resolver KIND` on the command line, else the `DCLUSTER_RESOLVER`
+/// env var; `None` means "use the network's scale-aware default". Unknown
+/// kinds abort with the parse error (a typo must not silently fall back).
+pub fn resolver_override() -> Option<dcluster_sim::ResolverKind> {
+    let parse = |s: &str| match s.parse::<dcluster_sim::ResolverKind>() {
+        Ok(kind) => kind,
+        Err(e) => panic!("--resolver: {e}"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(v) = arg.strip_prefix("--resolver=") {
+            return Some(parse(v));
+        }
+        if arg == "--resolver" {
+            let v = args.next().expect("--resolver needs a value");
+            return Some(parse(&v));
+        }
+    }
+    std::env::var("DCLUSTER_RESOLVER").ok().map(|v| parse(&v))
+}
+
+/// Creates the engine every experiment binary should use: the
+/// [`resolver_override`] backend when given, else the network's
+/// scale-aware default.
+pub fn engine(net: &dcluster_sim::Network) -> dcluster_sim::Engine<'_> {
+    match resolver_override() {
+        Some(kind) => dcluster_sim::Engine::with_resolver_kind(net, kind),
+        None => dcluster_sim::Engine::new(net),
+    }
 }
 
 /// Builds a connected uniform deployment targeting max degree ≈ `delta`
@@ -126,5 +177,19 @@ mod tests {
     #[test]
     fn print_table_does_not_panic() {
         print_table("t", &["a", "b"], &[vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn scale_tiers_are_ordered_ci_to_full() {
+        assert!(Scale::Ci < Scale::Quick);
+        assert!(Scale::Quick < Scale::Full);
+    }
+
+    #[test]
+    fn engine_helper_builds_a_usable_engine() {
+        let net = connected_deployment(40, 6, 11);
+        let engine = engine(&net);
+        assert_eq!(engine.round(), 0);
+        assert_eq!(engine.resolver_kind(), net.default_resolver());
     }
 }

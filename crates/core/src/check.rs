@@ -5,7 +5,59 @@
 //! they are never consulted by per-node protocol logic.
 
 use dcluster_sim::network::Network;
+use dcluster_sim::{Reception, ResolverKind};
 use std::collections::{HashMap, HashSet};
+
+/// A witnessed violation of the resolver-equivalence contract: two
+/// backends returned different reception sets for the same round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolverDisagreement {
+    /// Index of the transmitter set (round) in the audited sequence.
+    pub round: usize,
+    /// The reference backend (first in the audited list).
+    pub reference: ResolverKind,
+    /// The disagreeing backend.
+    pub disagreeing: ResolverKind,
+    /// Receptions per the reference backend, sorted by receiver.
+    pub expected: Vec<Reception>,
+    /// Receptions per the disagreeing backend, sorted by receiver.
+    pub got: Vec<Reception>,
+}
+
+/// Audits resolver-backend equivalence over a sequence of rounds: replays
+/// every transmitter set through each backend in `kinds` and returns the
+/// first disagreement with `kinds[0]`, or `None` if all backends agree on
+/// every round. Observer utility — used by the equivalence test-suites and
+/// the `scale_resolvers` CI gate; protocol logic never consults it.
+pub fn audit_resolver_equivalence(
+    net: &Network,
+    rounds: &[Vec<usize>],
+    kinds: &[ResolverKind],
+) -> Option<ResolverDisagreement> {
+    let (&reference, rest) = kinds.split_first()?;
+    let mut resolvers: Vec<_> = kinds.iter().map(|k| k.build()).collect();
+    let mut expected = Vec::new();
+    let mut got = Vec::new();
+    for (round, tx) in rounds.iter().enumerate() {
+        let (head, tail) = resolvers.split_first_mut().expect("nonempty");
+        head.resolve_into(net, tx, &mut expected);
+        expected.sort_by_key(|r| (r.receiver, r.sender));
+        for (other, &kind) in tail.iter_mut().zip(rest) {
+            other.resolve_into(net, tx, &mut got);
+            got.sort_by_key(|r| (r.receiver, r.sender));
+            if got != expected {
+                return Some(ResolverDisagreement {
+                    round,
+                    reference,
+                    disagreeing: kind,
+                    expected,
+                    got,
+                });
+            }
+        }
+    }
+    None
+}
 
 /// Quality report for a clustering (paper §1.3's two conditions plus the
 /// center-separation requirement of the r-clustering definition in §2).
@@ -138,6 +190,28 @@ mod tests {
         let (net, mut cl) = two_cluster_net();
         cl[2] = None;
         assert_eq!(check_clustering(&net, &cl).unassigned, 1);
+    }
+
+    #[test]
+    fn resolver_audit_passes_on_equivalent_backends() {
+        use dcluster_sim::{deploy, Rng64};
+        let mut rng = Rng64::new(5);
+        let net = Network::builder(deploy::uniform_square(60, 2.5, &mut rng))
+            .build()
+            .unwrap();
+        let rounds: Vec<Vec<usize>> = (0..8)
+            .map(|r| (0..net.len()).filter(|v| (v + r) % 3 == 0).collect())
+            .collect();
+        assert_eq!(
+            audit_resolver_equivalence(&net, &rounds, &ResolverKind::ALL),
+            None,
+            "the three backends must agree on every audited round"
+        );
+        assert_eq!(
+            audit_resolver_equivalence(&net, &rounds, &[]),
+            None,
+            "empty backend list trivially agrees"
+        );
     }
 
     #[test]

@@ -63,10 +63,11 @@ pub mod sparsify;
 pub mod stack;
 pub mod wakeup;
 
+pub use check::{audit_resolver_equivalence, ResolverDisagreement};
 pub use clustering::{clustering as run_clustering, Clustering};
 pub use global_broadcast::{global_broadcast, sms_broadcast, BroadcastOutcome};
 pub use local_broadcast::{local_broadcast, LocalBroadcastOutcome};
 pub use msg::Msg;
 pub use params::ProtocolParams;
-pub use run::SeedSeq;
+pub use run::{SeedSeq, UnitTrace};
 pub use stack::Stack;

@@ -107,6 +107,23 @@ pub struct ReplayUnit {
     pub members: Vec<Member>,
 }
 
+/// Provenance record of one (re-)execution of a [`ReplayUnit`]: which
+/// resolver backend produced the trace, and its extent. Replays are only
+/// guaranteed identical when the reception sets are — which holds across
+/// backends by the resolver equivalence contract, but recording the
+/// backend makes any violation attributable when auditing a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitTrace {
+    /// The backend that resolved every round of this execution.
+    pub resolver: dcluster_sim::ResolverKind,
+    /// Global engine round at which the execution started.
+    pub start_round: u64,
+    /// Rounds executed (= the schedule length).
+    pub rounds: u64,
+    /// Successful receptions delivered to `on_rx`.
+    pub receptions: u64,
+}
+
 /// Delivery callback: `(receiver, local_round, sender, message)`.
 pub type OnRx<'a> = &'a mut dyn FnMut(usize, u64, usize, &Msg);
 
@@ -153,8 +170,9 @@ impl ReplayUnit {
 
     /// Executes (or re-executes) the unit: every member transmits its
     /// pattern with the message given by `payload`; every reception is
-    /// reported to `on_rx`. Costs `sched.len()` rounds.
-    pub fn run<P>(&self, engine: &mut Engine<'_>, payload: P, on_rx: OnRx<'_>)
+    /// reported to `on_rx`. Costs `sched.len()` rounds. Returns the
+    /// [`UnitTrace`] recording which resolver backend produced the trace.
+    pub fn run<P>(&self, engine: &mut Engine<'_>, payload: P, on_rx: OnRx<'_>) -> UnitTrace
     where
         P: Fn(usize) -> Msg,
     {
@@ -163,14 +181,22 @@ impl ReplayUnit {
         for m in &self.members {
             member_of[m.node] = Some((m.id, m.cluster));
         }
+        let start_round = engine.round();
+        let receptions_before = engine.stats().receptions;
         let mut b = UnitBehavior {
             sched: &self.sched,
             member_of: &member_of,
-            start: engine.round(),
+            start: start_round,
             payload,
             on_rx,
         };
         engine.run(&mut b, self.sched.len());
+        UnitTrace {
+            resolver: engine.resolver_kind(),
+            start_round,
+            rounds: self.sched.len(),
+            receptions: engine.stats().receptions - receptions_before,
+        }
     }
 
     /// Node indices of the members.
@@ -287,6 +313,32 @@ mod tests {
             senders.iter().all(|&s| s == 0),
             "only the member may be heard"
         );
+    }
+
+    #[test]
+    fn unit_trace_records_backend_and_extent() {
+        let net = small_net();
+        let params = ProtocolParams::practical();
+        let mut seeds = SeedSeq::new(6);
+        let wss = fresh_wss(&params, &mut seeds, net.max_id());
+        let nodes: Vec<usize> = (0..net.len()).collect();
+        let unit = ReplayUnit::snapshot(&net, SchedHandle::Wss(wss), &nodes, &vec![0; net.len()]);
+        for kind in dcluster_sim::ResolverKind::ALL {
+            let mut engine = dcluster_sim::Engine::with_resolver_kind(&net, kind);
+            let mut count = 0u64;
+            let trace = unit.run(
+                &mut engine,
+                |v| Msg::Hello {
+                    id: net.id(v),
+                    cluster: 0,
+                },
+                &mut |_, _, _, _| count += 1,
+            );
+            assert_eq!(trace.resolver, kind);
+            assert_eq!(trace.start_round, 0);
+            assert_eq!(trace.rounds, unit.sched.len());
+            assert_eq!(trace.receptions, count, "trace counts what on_rx saw");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! touch only the entry of the node passed in.
 
 use crate::network::Network;
-use crate::radio::{Radio, Reception};
+use crate::radio::{Reception, ResolverKind, ResolverStats, SinrResolver};
 
 /// A synchronous per-node protocol executed by the [`Engine`].
 ///
@@ -42,27 +42,57 @@ pub struct EngineStats {
     pub receptions: u64,
 }
 
+/// Statistics of the most recently executed round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Round number that was executed.
+    pub round: u64,
+    /// Transmitters in that round.
+    pub transmissions: u64,
+    /// Successful receptions in that round.
+    pub receptions: u64,
+}
+
 /// Drives [`RoundBehavior`]s over a network, maintaining a global round
 /// counter across sequential protocol stages (deterministic protocols are
 /// time-multiplexed by round number, so the counter must persist).
+///
+/// Reception resolution is delegated to a [`SinrResolver`] backend owned
+/// by the engine; [`Engine::new`] picks the network's scale-aware default
+/// ([`Network::default_resolver`]), [`Engine::with_resolver_kind`] pins a
+/// specific one. All backends produce identical receptions, so the choice
+/// affects wall clock only — never protocol outcomes.
 #[derive(Debug)]
 pub struct Engine<'n> {
     net: &'n Network,
-    radio: Radio,
+    resolver: Box<dyn SinrResolver>,
     round: u64,
     stats: EngineStats,
+    last_round: RoundStats,
     tx_nodes: Vec<usize>,
     tx_msgs_scratch: usize,
 }
 
 impl<'n> Engine<'n> {
-    /// Creates an engine over `net` starting at round 0.
+    /// Creates an engine over `net` starting at round 0, with the
+    /// network's default resolver backend.
     pub fn new(net: &'n Network) -> Self {
+        Self::with_resolver_kind(net, net.default_resolver())
+    }
+
+    /// Creates an engine with an explicit resolver backend.
+    pub fn with_resolver_kind(net: &'n Network, kind: ResolverKind) -> Self {
+        Self::with_resolver(net, kind.build())
+    }
+
+    /// Creates an engine with a caller-constructed resolver backend.
+    pub fn with_resolver(net: &'n Network, resolver: Box<dyn SinrResolver>) -> Self {
         Self {
             net,
-            radio: Radio::new(),
+            resolver,
             round: 0,
             stats: EngineStats::default(),
+            last_round: RoundStats::default(),
             tx_nodes: Vec::new(),
             tx_msgs_scratch: 0,
         }
@@ -71,6 +101,22 @@ impl<'n> Engine<'n> {
     /// The network being simulated.
     pub fn network(&self) -> &'n Network {
         self.net
+    }
+
+    /// The backend resolving receptions.
+    pub fn resolver_kind(&self) -> ResolverKind {
+        self.resolver.kind()
+    }
+
+    /// The resolver backend's cumulative work counters.
+    pub fn resolver_stats(&self) -> ResolverStats {
+        self.resolver.stats()
+    }
+
+    /// Statistics of the most recently executed round (zeroed before the
+    /// first [`Engine::step`]).
+    pub fn last_round_stats(&self) -> RoundStats {
+        self.last_round
     }
 
     /// Current global round number (next round to execute).
@@ -111,7 +157,7 @@ impl<'n> Engine<'n> {
             }
         }
         self.tx_msgs_scratch = msgs.len();
-        let receptions = self.radio.resolve(self.net, &self.tx_nodes);
+        let receptions = self.resolver.resolve(self.net, &self.tx_nodes);
         for r in &receptions {
             behavior.receive(self.net, r.receiver, round, r.sender, &msgs[r.slot]);
         }
@@ -119,6 +165,11 @@ impl<'n> Engine<'n> {
         self.stats.rounds += 1;
         self.stats.transmissions += self.tx_nodes.len() as u64;
         self.stats.receptions += receptions.len() as u64;
+        self.last_round = RoundStats {
+            round,
+            transmissions: self.tx_nodes.len() as u64,
+            receptions: receptions.len() as u64,
+        };
         self.round += 1;
         receptions
     }
@@ -219,6 +270,25 @@ mod tests {
         assert_eq!(s.transmissions, 3);
         assert_eq!(s.receptions, 3);
         assert_eq!(engine.round(), 3);
+    }
+
+    #[test]
+    fn backends_are_selectable_and_tracked() {
+        let net = line(3, 0.6); // node 2 at 1.2 > range: exactly one hearer
+        for kind in crate::radio::ResolverKind::ALL {
+            let mut engine = Engine::with_resolver_kind(&net, kind);
+            assert_eq!(engine.resolver_kind(), kind);
+            let mut b = FnBehavior {
+                tx: |_: &Network, v: usize, _: u64| (v == 0).then_some(1u8),
+                rx: |_: &Network, _: usize, _: u64, _: usize, _: &u8| {},
+            };
+            engine.run(&mut b, 2);
+            assert_eq!(engine.resolver_stats().rounds, 2);
+            let lr = engine.last_round_stats();
+            assert_eq!(lr.round, 1);
+            assert_eq!(lr.transmissions, 1);
+            assert_eq!(lr.receptions, 1, "node 1 hears node 0 ({kind})");
+        }
     }
 
     #[test]

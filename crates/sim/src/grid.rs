@@ -23,6 +23,26 @@ pub struct Grid {
     cells: HashMap<(i64, i64), Vec<u32>>,
 }
 
+/// Result of [`Grid::two_nearest_within`]: the two nearest stored points,
+/// with distances returned both plain and squared so callers (the SINR
+/// resolver backends) never recompute `d²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoNearest {
+    /// Index of the nearest stored point.
+    pub nearest: usize,
+    /// Distance to `nearest`.
+    pub d1: f64,
+    /// Squared distance to `nearest`.
+    pub d1_sq: f64,
+    /// Index of the second-nearest stored point, if at least two are in
+    /// range.
+    pub second: Option<usize>,
+    /// Distance to `second` (`f64::INFINITY` if fewer than two in range).
+    pub d2: f64,
+    /// Squared distance to `second` (`f64::INFINITY` if fewer than two).
+    pub d2_sq: f64,
+}
+
 impl Grid {
     /// Builds a grid with the given cell side length.
     ///
@@ -90,20 +110,20 @@ impl Grid {
         self.within(points, center, r).count()
     }
 
-    /// Returns the two smallest distances from `center` to stored points
-    /// within radius `r`, together with the index of the closest point:
-    /// `(nearest_idx, d_nearest, d_second)`. `d_second` is `f64::INFINITY`
-    /// if fewer than two points are in range. Points at distance 0 (the
-    /// querying node itself, if stored) can be excluded via `exclude`.
+    /// Returns the two nearest stored points within radius `r` of `center`
+    /// — indices *and* distances (both plain and squared), so callers never
+    /// recompute `d²`. `None` if no stored point is in range. Points at
+    /// distance 0 (the querying node itself, if stored) can be excluded via
+    /// `exclude`.
     pub fn two_nearest_within(
         &self,
         points: &[Point],
         center: Point,
         r: f64,
         exclude: Option<usize>,
-    ) -> Option<(usize, f64, f64)> {
+    ) -> Option<TwoNearest> {
         let mut best: Option<(usize, f64)> = None;
-        let mut second = f64::INFINITY;
+        let mut second: Option<(usize, f64)> = None;
         let r_sq = r * r;
         for ids in self.candidate_cells(center, r) {
             for &i in ids {
@@ -117,19 +137,39 @@ impl Grid {
                 }
                 match best {
                     None => best = Some((i, d2)),
-                    Some((_, b2)) if d2 < b2 => {
-                        second = b2;
+                    Some((b, b2)) if d2 < b2 => {
+                        second = Some((b, b2));
                         best = Some((i, d2));
                     }
                     Some(_) => {
-                        if d2 < second {
-                            second = d2;
+                        if second.is_none_or(|(_, s2)| d2 < s2) {
+                            second = Some((i, d2));
                         }
                     }
                 }
             }
         }
-        best.map(|(i, d2)| (i, d2.sqrt(), second.sqrt()))
+        best.map(|(i, d2)| TwoNearest {
+            nearest: i,
+            d1: d2.sqrt(),
+            d1_sq: d2,
+            second: second.map(|(j, _)| j),
+            d2: second.map_or(f64::INFINITY, |(_, s2)| s2.sqrt()),
+            d2_sq: second.map_or(f64::INFINITY, |(_, s2)| s2),
+        })
+    }
+
+    /// Cell key of an arbitrary position under this grid's tiling.
+    #[inline]
+    pub fn key_of(&self, p: Point) -> (i64, i64) {
+        Self::key(&p, self.cell)
+    }
+
+    /// Stored point indices in cell `key` (empty slice if the cell is
+    /// unoccupied).
+    #[inline]
+    pub fn cell_members(&self, key: (i64, i64)) -> &[u32] {
+        self.cells.get(&key).map_or(&[], |v| v.as_slice())
     }
 
     fn candidate_cells(&self, center: Point, r: f64) -> impl Iterator<Item = &Vec<u32>> + '_ {
@@ -199,16 +239,20 @@ mod tests {
             match ds.len() {
                 0 => assert!(got.is_none()),
                 1 => {
-                    let (i, d1, d2) = got.unwrap();
-                    assert_eq!(i, ds[0].1);
-                    assert!((d1 - ds[0].0).abs() < 1e-12);
-                    assert!(d2.is_infinite());
+                    let tn = got.unwrap();
+                    assert_eq!(tn.nearest, ds[0].1);
+                    assert!((tn.d1 - ds[0].0).abs() < 1e-12);
+                    assert!(tn.second.is_none());
+                    assert!(tn.d2.is_infinite() && tn.d2_sq.is_infinite());
                 }
                 _ => {
-                    let (i, d1, d2) = got.unwrap();
-                    assert_eq!(i, ds[0].1);
-                    assert!((d1 - ds[0].0).abs() < 1e-12);
-                    assert!((d2 - ds[1].0).abs() < 1e-12);
+                    let tn = got.unwrap();
+                    assert_eq!(tn.nearest, ds[0].1);
+                    assert!((tn.d1 - ds[0].0).abs() < 1e-12);
+                    assert!((tn.d2 - ds[1].0).abs() < 1e-12);
+                    assert!((tn.d1_sq - tn.d1 * tn.d1).abs() < 1e-12);
+                    let j = tn.second.expect("two points in range");
+                    assert!((pts[j].dist(c) - ds[1].0).abs() < 1e-12);
                 }
             }
         }
@@ -231,11 +275,12 @@ mod tests {
     fn exclude_skips_self() {
         let pts = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)];
         let grid = Grid::build(&pts, 1.0);
-        let (i, d, _) = grid
+        let tn = grid
             .two_nearest_within(&pts, pts[0], 1.0, Some(0))
             .expect("neighbor in range");
-        assert_eq!(i, 1);
-        assert!((d - 0.5).abs() < 1e-12);
+        assert_eq!(tn.nearest, 1);
+        assert!((tn.d1 - 0.5).abs() < 1e-12);
+        assert!(tn.second.is_none());
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //!
 //! * 2-D [`Point`] geometry, balls, and the packing function `χ(r1, r2)`
 //!   ([`metrics`]);
-//! * the SINR reception model of the paper's Eq. (1) ([`radio`]), with an
-//!   exact naive resolver and a provably-equivalent fast resolver;
+//! * the SINR reception model of the paper's Eq. (1) ([`radio`]): a
+//!   [`SinrResolver`] trait with three provably-equivalent backends —
+//!   naive oracle, grid short-circuit, and per-round cell-aggregated
+//!   interference ([`field`]);
 //! * a synchronous round [`engine`] executing [`engine::RoundBehavior`]
 //!   protocols over a [`Network`];
 //! * deployment generators for the paper's motivating scenarios
@@ -51,6 +53,7 @@
 
 pub mod deploy;
 pub mod engine;
+pub mod field;
 pub mod graph;
 pub mod grid;
 pub mod metrics;
@@ -59,12 +62,16 @@ pub mod point;
 pub mod radio;
 pub mod rng;
 
-pub use engine::{Engine, EngineStats, RoundBehavior};
+pub use engine::{Engine, EngineStats, RoundBehavior, RoundStats};
+pub use field::InterferenceField;
 pub use graph::Graph;
-pub use grid::Grid;
+pub use grid::{Grid, TwoNearest};
 pub use network::{Network, NetworkBuilder, NetworkError};
 pub use point::Point;
-pub use radio::{Radio, Reception};
+pub use radio::{
+    AggregatedResolver, GridResolver, NaiveResolver, Reception, ResolverKind, ResolverStats,
+    SinrResolver,
+};
 pub use rng::Rng64;
 
 /// SINR model parameters (paper §1.1).

@@ -133,11 +133,40 @@ impl Network {
     }
 
     /// Nodes within distance `r` of node `v` **excluding** `v` itself.
+    ///
+    /// Allocates a fresh vector; hot paths should use
+    /// [`Network::neighbors_within_into`] with a reused buffer instead.
     pub fn neighbors_within(&self, v: usize, r: f64) -> Vec<usize> {
-        self.grid
-            .within(&self.points, self.points[v], r)
-            .filter(|&u| u != v)
-            .collect()
+        let mut out = Vec::new();
+        self.neighbors_within_into(v, r, &mut out);
+        out
+    }
+
+    /// Collects the nodes within distance `r` of node `v` (excluding `v`)
+    /// into a caller-provided buffer, clearing it first — the
+    /// allocation-free form for per-node loops.
+    pub fn neighbors_within_into(&self, v: usize, r: f64, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.grid
+                .within(&self.points, self.points[v], r)
+                .filter(|&u| u != v),
+        );
+    }
+
+    /// The scale-aware default [`ResolverKind`](crate::radio::ResolverKind)
+    /// for this network: dense or large deployments default to the
+    /// cell-aggregated backend (whose per-receiver cost is bounded by
+    /// occupied cells, not `|T|`); small sparse ones keep the plain grid
+    /// backend and skip the per-round aggregation overhead. All backends
+    /// return identical receptions, so this is purely a performance choice.
+    pub fn default_resolver(&self) -> crate::radio::ResolverKind {
+        let n = self.len();
+        if n >= 4096 || (n >= 512 && self.max_degree() >= 64) {
+            crate::radio::ResolverKind::Aggregated
+        } else {
+            crate::radio::ResolverKind::Grid
+        }
     }
 
     /// Network density Γ: the largest number of nodes in a unit ball
@@ -326,6 +355,37 @@ mod tests {
         pts.push(Point::new(10.0, 10.0));
         let net = Network::builder(pts).build().unwrap();
         assert_eq!(net.density(), 5);
+    }
+
+    #[test]
+    fn neighbors_within_buffer_reuse_matches_allocating_form() {
+        let net = Network::builder(square(5, 0.3)).build().unwrap();
+        let mut buf = vec![999usize; 7]; // stale content must be cleared
+        for v in 0..net.len() {
+            net.neighbors_within_into(v, 0.5, &mut buf);
+            let mut a = buf.clone();
+            let mut b = net.neighbors_within(v, 0.5);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+            assert!(!a.contains(&v), "self excluded");
+        }
+    }
+
+    #[test]
+    fn default_resolver_scales_with_size() {
+        let small = Network::builder(square(3, 0.5)).build().unwrap();
+        assert_eq!(
+            small.default_resolver(),
+            crate::radio::ResolverKind::Grid,
+            "tiny nets skip the aggregation overhead"
+        );
+        let big = Network::builder(square(64, 0.5)).build().unwrap();
+        assert_eq!(
+            big.default_resolver(),
+            crate::radio::ResolverKind::Aggregated,
+            "4096-node nets default to cell aggregation"
+        );
     }
 
     #[test]

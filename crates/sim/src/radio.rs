@@ -1,4 +1,5 @@
-//! SINR reception resolution — the paper's Eq. (1).
+//! SINR reception resolution — the paper's Eq. (1) — behind pluggable
+//! resolver backends.
 //!
 //! Given the set `T` of nodes transmitting in a round, node `u` (which must
 //! itself be silent: half-duplex) receives the message of `v ∈ T` iff
@@ -9,23 +10,41 @@
 //!
 //! Because `β > 1`, at most one transmitter can be decoded by any receiver,
 //! and it is necessarily the one with the strongest signal (the nearest,
-//! under uniform power). The fast resolver exploits two exact facts:
+//! under uniform power). Reception resolution is the hot path of every
+//! experiment binary, so it sits behind the [`SinrResolver`] trait with
+//! three interchangeable backends ([`ResolverKind`]):
 //!
-//! 1. a decodable transmitter lies within the transmission range
-//!    (`signal(d) ≥ β·noise` is necessary), so candidate receivers are found
-//!    with a grid query of radius `range`;
-//! 2. the second-nearest transmitter alone already contributes
-//!    `signal(d₂)` interference, so if
-//!    `signal(d₁)/(noise + signal(d₂)) < β` the receiver can be skipped
-//!    without summing the remaining interference.
+//! * [`NaiveResolver`] — the oracle. Evaluates Eq. (1) literally in
+//!   `O(n·|T|)`; every other backend must match it **exactly**.
+//! * [`GridResolver`] — grid short-circuit. Two exact facts cut the work:
+//!   (1) a decodable transmitter lies within the transmission range
+//!   (`signal(d) ≥ β·noise` is necessary), so candidates come from a grid
+//!   query of radius `range`; (2) the second-nearest transmitter alone
+//!   contributes `signal(d₂)` interference, so a receiver failing
+//!   `signal(d₁) ≥ β·(noise + signal(d₂))` is skipped without any summing.
+//!   Survivors still pay an exact `O(|T|)` interference sum.
+//! * [`AggregatedResolver`] — cell-aggregated interference. Builds a
+//!   per-round [`InterferenceField`](crate::field::InterferenceField):
+//!   interference is accumulated as exact cell-grouped partial sums ring by
+//!   ring around the receiver, and everything farther than `k` cells is
+//!   covered by a single count-based residual bound. Because the reception
+//!   test is monotone in the interference, a receiver is accepted or
+//!   rejected as soon as the bound is conclusive; the rare inconclusive
+//!   case falls back to the exact far-field sum. Surviving receivers
+//!   therefore pay `O(occupied cells nearby) + O(1)` instead of `O(|T|)` —
+//!   and the returned receptions are **exactly** the naive ones (the cell
+//!   sums are exact partial sums, not approximations; see
+//!   [`crate::field`] for the full argument).
 //!
-//! The full interference sum (over *all* transmitters, arbitrarily far away)
-//! is computed exactly for every receiver that survives the short-circuit,
-//! so the fast resolver returns **exactly** the same receptions as the naive
-//! one — a property the test-suite checks on random instances.
+//! Equivalence of all three backends is enforced by property tests on
+//! random, clumped and grid-boundary deployments
+//! (`crates/sim/tests/radio_equivalence.rs`).
 
+use crate::field::InterferenceField;
 use crate::grid::Grid;
 use crate::network::Network;
+use std::fmt;
+use std::str::FromStr;
 
 /// A successful reception in one round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,80 +58,165 @@ pub struct Reception {
     pub slot: usize,
 }
 
-/// Reusable SINR resolver (holds scratch allocations).
-#[derive(Debug, Default)]
-pub struct Radio {
-    is_tx: Vec<bool>,
-    slot_of: Vec<u32>,
+/// The available [`SinrResolver`] backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolverKind {
+    /// Literal Eq. (1): `O(n·|T|)` oracle.
+    Naive,
+    /// Grid candidate search + second-nearest short-circuit + exact sums.
+    Grid,
+    /// Grid short-circuit + per-round cell-aggregated interference field.
+    Aggregated,
 }
 
-impl Radio {
-    /// Creates a resolver.
-    pub fn new() -> Self {
-        Self::default()
+impl ResolverKind {
+    /// Every backend, in increasing order of sophistication.
+    pub const ALL: [ResolverKind; 3] = [
+        ResolverKind::Naive,
+        ResolverKind::Grid,
+        ResolverKind::Aggregated,
+    ];
+
+    /// Stable lower-case name (CLI flags, traces, CSV columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            ResolverKind::Naive => "naive",
+            ResolverKind::Grid => "grid",
+            ResolverKind::Aggregated => "aggregated",
+        }
     }
 
-    /// Resolves all receptions for the round where exactly the nodes in
-    /// `transmitters` transmit. Equivalent to [`Radio::resolve_naive`].
-    pub fn resolve(&mut self, net: &Network, transmitters: &[usize]) -> Vec<Reception> {
-        let n = net.len();
-        if transmitters.is_empty() {
-            return Vec::new();
+    /// Instantiates the backend.
+    pub fn build(self) -> Box<dyn SinrResolver> {
+        match self {
+            ResolverKind::Naive => Box::new(NaiveResolver::new()),
+            ResolverKind::Grid => Box::new(GridResolver::new()),
+            ResolverKind::Aggregated => Box::new(AggregatedResolver::new()),
         }
-        let p = net.params();
-        let range = p.range();
-        self.is_tx.clear();
-        self.is_tx.resize(n, false);
-        self.slot_of.clear();
-        self.slot_of.resize(n, u32::MAX);
-        for (slot, &t) in transmitters.iter().enumerate() {
-            debug_assert!(!self.is_tx[t], "node {t} listed twice as transmitter");
-            self.is_tx[t] = true;
-            self.slot_of[t] = slot as u32;
+    }
+}
+
+impl fmt::Display for ResolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ResolverKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "naive" => Ok(ResolverKind::Naive),
+            "grid" => Ok(ResolverKind::Grid),
+            "aggregated" | "agg" => Ok(ResolverKind::Aggregated),
+            other => Err(format!(
+                "unknown resolver '{other}' (expected naive|grid|aggregated)"
+            )),
         }
-        let tx_grid = Grid::build_subset(net.points(), transmitters, range);
+    }
+}
+
+/// Cumulative per-backend work counters (all backends fill `rounds` and
+/// `candidates`; the rest apply where meaningful).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Rounds resolved.
+    pub rounds: u64,
+    /// Decode candidates: receivers with some transmitter within range for
+    /// the geometric backends; decoded receivers for the naive oracle
+    /// (which has no candidate search).
+    pub candidates: u64,
+    /// Candidates killed by the second-nearest short-circuit.
+    pub short_circuited: u64,
+    /// Exact full-interference sums over all of `T` (naive: one per
+    /// listener; grid: one per surviving candidate; aggregated: 0).
+    pub exact_sums: u64,
+    /// Aggregated only: candidates decided by cell sums + residual bound.
+    pub residual_decided: u64,
+    /// Aggregated only: candidates that needed the exact far-field
+    /// fallback.
+    pub exact_fallbacks: u64,
+}
+
+/// A reception-resolution backend: given a round's transmitter set,
+/// produce the exact reception set of Eq. (1).
+///
+/// All backends are **observationally identical** — they differ only in
+/// how much work they do. Implementations may keep scratch allocations
+/// (hence `&mut self`) and must be deterministic: the same network and
+/// transmitter slice always yield the same receptions in the same order
+/// (sorted by receiver index).
+pub trait SinrResolver: fmt::Debug {
+    /// Which backend this is (recorded in traces and stats).
+    fn kind(&self) -> ResolverKind;
+
+    /// Resolves one round into `out` (cleared first), sorted by receiver.
+    fn resolve_into(&mut self, net: &Network, transmitters: &[usize], out: &mut Vec<Reception>);
+
+    /// Convenience wrapper allocating a fresh output vector.
+    fn resolve(&mut self, net: &Network, transmitters: &[usize]) -> Vec<Reception> {
         let mut out = Vec::new();
-        for u in 0..n {
-            if self.is_tx[u] {
-                continue; // half-duplex: transmitters do not receive
-            }
-            let Some((v, d1, d2)) =
-                tx_grid.two_nearest_within(net.points(), net.pos(u), range, None)
-            else {
-                continue;
-            };
-            let s1 = p.signal(d1);
-            // Short-circuit: interference ≥ signal(d2) (d2 may be ∞ ⇒ 0).
-            let i_low = if d2.is_finite() { p.signal(d2) } else { 0.0 };
-            if s1 < p.beta * (p.noise + i_low) {
-                continue;
-            }
-            // Exact check with total interference over all transmitters.
-            let mut interference = -s1; // subtract sender's own signal below
-            for &w in transmitters {
-                interference += p.signal(net.pos(w).dist(net.pos(u)));
-            }
-            if s1 >= p.beta * (p.noise + interference) {
-                out.push(Reception {
-                    receiver: u,
-                    sender: v,
-                    slot: self.slot_of[v] as usize,
-                });
-            }
-        }
+        self.resolve_into(net, transmitters, &mut out);
         out
     }
 
-    /// Reference resolver: O(n·|T|), no geometric shortcuts. Used by tests
-    /// and available for auditing.
-    pub fn resolve_naive(net: &Network, transmitters: &[usize]) -> Vec<Reception> {
-        let p = net.params();
-        let mut is_tx = vec![false; net.len()];
-        for &t in transmitters {
-            is_tx[t] = true;
+    /// Cumulative work counters.
+    fn stats(&self) -> ResolverStats;
+}
+
+/// Marks `transmitters` in the reusable `is_tx`/`slot_of` scratch vectors.
+fn mark_transmitters(
+    n: usize,
+    transmitters: &[usize],
+    is_tx: &mut Vec<bool>,
+    slot_of: &mut Vec<u32>,
+) {
+    is_tx.clear();
+    is_tx.resize(n, false);
+    slot_of.clear();
+    slot_of.resize(n, u32::MAX);
+    for (slot, &t) in transmitters.iter().enumerate() {
+        debug_assert!(!is_tx[t], "node {t} listed twice as transmitter");
+        is_tx[t] = true;
+        slot_of[t] = slot as u32;
+    }
+}
+
+/// Reference backend: evaluates Eq. (1) literally, `O(n·|T|)`, no
+/// geometric shortcuts. The oracle every other backend is tested against.
+#[derive(Debug, Default)]
+pub struct NaiveResolver {
+    is_tx: Vec<bool>,
+    stats: ResolverStats,
+}
+
+impl NaiveResolver {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SinrResolver for NaiveResolver {
+    fn kind(&self) -> ResolverKind {
+        ResolverKind::Naive
+    }
+
+    fn resolve_into(&mut self, net: &Network, transmitters: &[usize], out: &mut Vec<Reception>) {
+        out.clear();
+        self.stats.rounds += 1;
+        if transmitters.is_empty() {
+            return;
         }
-        let mut out = Vec::new();
-        for (u, _) in is_tx.iter().enumerate().filter(|&(_, &tx)| !tx) {
+        let p = net.params();
+        self.is_tx.clear();
+        self.is_tx.resize(net.len(), false);
+        for &t in transmitters {
+            debug_assert!(!self.is_tx[t], "node {t} listed twice as transmitter");
+            self.is_tx[t] = true;
+        }
+        for (u, _) in self.is_tx.iter().enumerate().filter(|&(_, &tx)| !tx) {
+            self.stats.exact_sums += 1;
             let total: f64 = transmitters
                 .iter()
                 .map(|&w| p.signal(net.pos(w).dist(net.pos(u))))
@@ -126,6 +230,7 @@ impl Radio {
                 }
             }
             if let Some((v, slot)) = decoded {
+                self.stats.candidates += 1;
                 out.push(Reception {
                     receiver: u,
                     sender: v,
@@ -133,8 +238,157 @@ impl Radio {
                 });
             }
         }
-        out
     }
+
+    fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+}
+
+/// Grid-accelerated backend (the workspace's original fast resolver):
+/// candidate search and second-nearest short-circuit via the transmitter
+/// subset grid, then an exact `O(|T|)` sum per surviving candidate.
+#[derive(Debug, Default)]
+pub struct GridResolver {
+    is_tx: Vec<bool>,
+    slot_of: Vec<u32>,
+    stats: ResolverStats,
+}
+
+impl GridResolver {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SinrResolver for GridResolver {
+    fn kind(&self) -> ResolverKind {
+        ResolverKind::Grid
+    }
+
+    fn resolve_into(&mut self, net: &Network, transmitters: &[usize], out: &mut Vec<Reception>) {
+        out.clear();
+        self.stats.rounds += 1;
+        if transmitters.is_empty() {
+            return;
+        }
+        let n = net.len();
+        let p = net.params();
+        let range = p.range();
+        mark_transmitters(n, transmitters, &mut self.is_tx, &mut self.slot_of);
+        let tx_grid = Grid::build_subset(net.points(), transmitters, range);
+        for u in 0..n {
+            if self.is_tx[u] {
+                continue; // half-duplex: transmitters do not receive
+            }
+            let Some(tn) = tx_grid.two_nearest_within(net.points(), net.pos(u), range, None) else {
+                continue;
+            };
+            self.stats.candidates += 1;
+            let (v, d1, d2) = (tn.nearest, tn.d1, tn.d2);
+            let s1 = p.signal(d1);
+            // Short-circuit: interference ≥ signal(d2) (d2 may be ∞ ⇒ 0).
+            let i_low = if d2.is_finite() { p.signal(d2) } else { 0.0 };
+            if s1 < p.beta * (p.noise + i_low) {
+                self.stats.short_circuited += 1;
+                continue;
+            }
+            // Exact check with total interference over all transmitters.
+            self.stats.exact_sums += 1;
+            let mut interference = -s1; // subtract sender's own signal below
+            for &w in transmitters {
+                interference += p.signal(net.pos(w).dist(net.pos(u)));
+            }
+            if s1 >= p.beta * (p.noise + interference) {
+                out.push(Reception {
+                    receiver: u,
+                    sender: v,
+                    slot: self.slot_of[v] as usize,
+                });
+            }
+        }
+    }
+
+    fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+}
+
+/// Cell-aggregated backend: per-round [`InterferenceField`] with exact
+/// cell-grouped partial sums and a global residual bound. Scales to the
+/// 10⁵–10⁶-node deployments the grid backend's per-survivor `O(|T|)` sums
+/// cannot reach.
+#[derive(Debug, Default)]
+pub struct AggregatedResolver {
+    is_tx: Vec<bool>,
+    slot_of: Vec<u32>,
+    stats: ResolverStats,
+}
+
+impl AggregatedResolver {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SinrResolver for AggregatedResolver {
+    fn kind(&self) -> ResolverKind {
+        ResolverKind::Aggregated
+    }
+
+    fn resolve_into(&mut self, net: &Network, transmitters: &[usize], out: &mut Vec<Reception>) {
+        out.clear();
+        self.stats.rounds += 1;
+        if transmitters.is_empty() {
+            return;
+        }
+        let n = net.len();
+        let p = net.params();
+        let range = p.range();
+        mark_transmitters(n, transmitters, &mut self.is_tx, &mut self.slot_of);
+        let mut field = InterferenceField::build(net.points(), transmitters, range);
+        for u in 0..n {
+            if self.is_tx[u] {
+                continue; // half-duplex
+            }
+            let Some(tn) = field
+                .grid()
+                .two_nearest_within(net.points(), net.pos(u), range, None)
+            else {
+                continue;
+            };
+            self.stats.candidates += 1;
+            let (v, d1, d2) = (tn.nearest, tn.d1, tn.d2);
+            let s1 = p.signal(d1);
+            let i_low = if d2.is_finite() { p.signal(d2) } else { 0.0 };
+            if s1 < p.beta * (p.noise + i_low) {
+                self.stats.short_circuited += 1;
+                continue;
+            }
+            if field.decide(net.points(), p, net.pos(u), v, s1) {
+                out.push(Reception {
+                    receiver: u,
+                    sender: v,
+                    slot: self.slot_of[v] as usize,
+                });
+            }
+        }
+        let fs = field.stats();
+        self.stats.residual_decided += fs.residual_decided + fs.exhausted;
+        self.stats.exact_fallbacks += fs.exact_fallbacks;
+    }
+
+    fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+}
+
+/// Resolves one round with the naive oracle (shorthand for tests and
+/// auditing).
+pub fn resolve_naive(net: &Network, transmitters: &[usize]) -> Vec<Reception> {
+    NaiveResolver::new().resolve(net, transmitters)
 }
 
 /// Total received power (noise excluded) at every node for a transmitter
@@ -180,6 +434,10 @@ mod tests {
         Network::builder(points).build().unwrap()
     }
 
+    fn backends() -> Vec<Box<dyn SinrResolver>> {
+        ResolverKind::ALL.iter().map(|k| k.build()).collect()
+    }
+
     #[test]
     fn lone_transmitter_reaches_exactly_its_range() {
         let net = net_of(vec![
@@ -187,22 +445,32 @@ mod tests {
             Point::new(0.999, 0.0), // inside range
             Point::new(1.001, 0.0), // outside range
         ]);
-        let got = Radio::new().resolve(&net, &[0]);
-        assert_eq!(
-            got,
-            vec![Reception {
-                receiver: 1,
-                sender: 0,
-                slot: 0
-            }]
-        );
+        for r in &mut backends() {
+            let got = r.resolve(&net, &[0]);
+            assert_eq!(
+                got,
+                vec![Reception {
+                    receiver: 1,
+                    sender: 0,
+                    slot: 0
+                }],
+                "backend {}",
+                r.kind()
+            );
+        }
     }
 
     #[test]
     fn transmitters_do_not_receive() {
         let net = net_of(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)]);
-        let got = Radio::new().resolve(&net, &[0, 1]);
-        assert!(got.is_empty(), "both nodes transmit, nobody listens");
+        for r in &mut backends() {
+            let got = r.resolve(&net, &[0, 1]);
+            assert!(
+                got.is_empty(),
+                "{}: both transmit, nobody listens",
+                r.kind()
+            );
+        }
     }
 
     #[test]
@@ -214,8 +482,9 @@ mod tests {
             Point::new(1.8, 0.0),
             Point::new(0.9, 0.0),
         ]);
-        let got = Radio::new().resolve(&net, &[0, 1]);
-        assert!(got.is_empty());
+        for r in &mut backends() {
+            assert!(r.resolve(&net, &[0, 1]).is_empty(), "backend {}", r.kind());
+        }
     }
 
     #[test]
@@ -226,15 +495,19 @@ mod tests {
             Point::new(2.0, 0.0), // interferer
             Point::new(0.1, 0.0), // receiver
         ]);
-        let got = Radio::new().resolve(&net, &[0, 1]);
-        assert_eq!(
-            got,
-            vec![Reception {
-                receiver: 2,
-                sender: 0,
-                slot: 0
-            }]
-        );
+        for r in &mut backends() {
+            let got = r.resolve(&net, &[0, 1]);
+            assert_eq!(
+                got,
+                vec![Reception {
+                    receiver: 2,
+                    sender: 0,
+                    slot: 0
+                }],
+                "backend {}",
+                r.kind()
+            );
+        }
     }
 
     #[test]
@@ -246,15 +519,14 @@ mod tests {
         ]);
         let tx = [0, 2];
         let s = sinr(&net, 0, 1, &tx);
-        let received = Radio::new()
-            .resolve(&net, &tx)
-            .iter()
-            .any(|r| r.receiver == 1);
-        assert_eq!(received, s >= net.params().beta);
+        for r in &mut backends() {
+            let received = r.resolve(&net, &tx).iter().any(|x| x.receiver == 1);
+            assert_eq!(received, s >= net.params().beta, "backend {}", r.kind());
+        }
     }
 
     #[test]
-    fn fast_resolver_matches_naive_on_random_instances() {
+    fn all_backends_match_naive_on_random_instances() {
         let mut rng = Rng64::new(2024);
         for trial in 0..30 {
             let n = 20 + trial * 7;
@@ -275,14 +547,16 @@ mod tests {
             let mut all: Vec<usize> = (0..n).collect();
             rng.shuffle(&mut all);
             all.truncate(k);
-            let mut fast = Radio::new().resolve(&net, &all);
-            let mut naive = Radio::resolve_naive(&net, &all);
-            fast.sort_by_key(|r| r.receiver);
+            let mut naive = resolve_naive(&net, &all);
             naive.sort_by_key(|r| r.receiver);
-            assert_eq!(
-                fast, naive,
-                "trial {trial}: fast and naive resolvers disagree"
-            );
+            for kind in [ResolverKind::Grid, ResolverKind::Aggregated] {
+                let mut got = kind.build().resolve(&net, &all);
+                got.sort_by_key(|r| r.receiver);
+                assert_eq!(
+                    got, naive,
+                    "trial {trial}: {kind} and naive resolvers disagree"
+                );
+            }
         }
     }
 
@@ -294,22 +568,66 @@ mod tests {
             .collect();
         let net = net_of(pts);
         let tx: Vec<usize> = (0..120).filter(|_| rng.chance(0.3)).collect();
-        let rec = Radio::new().resolve(&net, &tx);
-        let mut seen = std::collections::HashSet::new();
-        for r in &rec {
-            assert!(
-                seen.insert(r.receiver),
-                "receiver {} decoded twice",
-                r.receiver
-            );
-            assert_eq!(tx[r.slot], r.sender, "slot must index the sender");
+        for r in &mut backends() {
+            let rec = r.resolve(&net, &tx);
+            let mut seen = std::collections::HashSet::new();
+            for x in &rec {
+                assert!(
+                    seen.insert(x.receiver),
+                    "{}: receiver {} decoded twice",
+                    r.kind(),
+                    x.receiver
+                );
+                assert_eq!(tx[x.slot], x.sender, "slot must index the sender");
+            }
         }
     }
 
     #[test]
     fn empty_transmitter_set_yields_no_receptions() {
         let net = net_of(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)]);
-        assert!(Radio::new().resolve(&net, &[]).is_empty());
+        for r in &mut backends() {
+            assert!(r.resolve(&net, &[]).is_empty(), "backend {}", r.kind());
+        }
+    }
+
+    #[test]
+    fn resolver_stats_track_work() {
+        let mut rng = Rng64::new(11);
+        let pts: Vec<Point> = (0..80)
+            .map(|_| Point::new(rng.range_f64(0.0, 3.0), rng.range_f64(0.0, 3.0)))
+            .collect();
+        let net = net_of(pts);
+        let tx: Vec<usize> = (0..80).filter(|_| rng.chance(0.25)).collect();
+        let mut agg = AggregatedResolver::new();
+        let _ = agg.resolve(&net, &tx);
+        let st = agg.stats();
+        assert_eq!(st.rounds, 1);
+        assert_eq!(st.exact_sums, 0, "aggregated never does full naive sums");
+        assert_eq!(
+            st.candidates,
+            st.short_circuited + st.residual_decided + st.exact_fallbacks,
+            "every candidate is accounted for exactly once"
+        );
+        let mut grid = GridResolver::new();
+        let _ = grid.resolve(&net, &tx);
+        let gst = grid.stats();
+        assert_eq!(gst.candidates, st.candidates, "same candidate set");
+        assert_eq!(gst.exact_sums + gst.short_circuited, gst.candidates);
+    }
+
+    #[test]
+    fn resolver_kind_parses_and_prints() {
+        for kind in ResolverKind::ALL {
+            assert_eq!(kind.name().parse::<ResolverKind>().unwrap(), kind);
+            assert_eq!(format!("{kind}"), kind.name());
+            assert_eq!(kind.build().kind(), kind);
+        }
+        assert_eq!(
+            "AGG".parse::<ResolverKind>().unwrap(),
+            ResolverKind::Aggregated
+        );
+        assert!("fft".parse::<ResolverKind>().is_err());
     }
 
     #[test]

@@ -1,14 +1,16 @@
-//! The fast grid-based SINR resolver must return **exactly** the same
-//! receptions as the naive quadratic resolver — the equivalence promised in
-//! `radio.rs`'s module docs. Property-tested over random deployments,
-//! transmitter sets and SINR parameter regimes.
+//! Every SINR resolver backend must return **exactly** the same receptions
+//! as the naive oracle — the equivalence promised in `radio.rs`'s module
+//! docs (for the aggregated backend: the cell sums are exact partial sums
+//! and the residual bound is only used when conclusive, so the decisions
+//! coincide with the full Eq. (1) sum). Property-tested three ways over
+//! random, clumped and grid-boundary deployments, transmitter sets and
+//! SINR parameter regimes.
 
-use dcluster_sim::radio::Radio;
 use dcluster_sim::rng::Rng64;
-use dcluster_sim::{Network, Point, Reception, SinrParams};
+use dcluster_sim::{Network, Point, Reception, ResolverKind, SinrParams};
 use proptest::prelude::*;
 
-/// Canonical ordering so the two resolvers' outputs compare as sets.
+/// Canonical ordering so resolver outputs compare as sets.
 fn sorted(mut receptions: Vec<Reception>) -> Vec<Reception> {
     receptions.sort_by_key(|r| (r.receiver, r.sender));
     receptions
@@ -24,13 +26,33 @@ fn random_network(n: usize, side: f64, params: SinrParams, rng: &mut Rng64) -> N
         .expect("nonempty deployment")
 }
 
+/// Checks all three backends agree on one instance (error message on
+/// disagreement, for `?`-chaining inside proptest cases).
+fn assert_three_way(net: &Network, tx: &[usize], label: &str) -> Result<(), String> {
+    let naive = sorted(ResolverKind::Naive.build().resolve(net, tx));
+    for kind in [ResolverKind::Grid, ResolverKind::Aggregated] {
+        let got = sorted(kind.build().resolve(net, tx));
+        if got != naive {
+            return Err(format!(
+                "{label}: {kind} and naive resolvers disagree (n={}, |T|={}): \
+                 {kind} found {:?}, naive found {:?}",
+                net.len(),
+                tx.len(),
+                got,
+                naive
+            ));
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
     /// Equivalence on uniform deployments across densities, transmitter
     /// fractions and (alpha, beta) regimes.
     #[test]
-    fn fast_resolver_equals_naive(
+    fn backends_equal_naive_on_uniform_deployments(
         seed in 0u64..10_000,
         n in 2usize..120,
         side_tenths in 5u32..80,
@@ -48,39 +70,29 @@ proptest! {
         let net = random_network(n, side_tenths as f64 / 10.0, params, &mut rng);
         let tx: Vec<usize> =
             (0..n).filter(|_| rng.chance(tx_permille as f64 / 1000.0)).collect();
-
-        let fast = sorted(Radio::new().resolve(&net, &tx));
-        let naive = sorted(Radio::resolve_naive(&net, &tx));
-        prop_assert_eq!(
-            fast, naive,
-            "fast and naive resolvers disagree (n={}, |T|={})", n, tx.len()
-        );
+        assert_three_way(&net, &tx, "uniform")?;
     }
 
     /// Equivalence when every node transmits (nobody listens) and when a
     /// single node transmits (pure range test) — the two boundary regimes.
     #[test]
-    fn fast_resolver_equals_naive_at_boundary_tx_sets(seed in 0u64..10_000, n in 1usize..60) {
+    fn backends_equal_naive_at_boundary_tx_sets(seed in 0u64..10_000, n in 1usize..60) {
         let mut rng = Rng64::new(seed);
         let net = random_network(n, 3.0, SinrParams::default(), &mut rng);
 
         let everyone: Vec<usize> = (0..n).collect();
-        prop_assert_eq!(
-            sorted(Radio::new().resolve(&net, &everyone)),
-            sorted(Radio::resolve_naive(&net, &everyone))
-        );
+        assert_three_way(&net, &everyone, "everyone-transmits")?;
 
         let lone = vec![rng.range_usize(n)];
-        prop_assert_eq!(
-            sorted(Radio::new().resolve(&net, &lone)),
-            sorted(Radio::resolve_naive(&net, &lone))
-        );
+        assert_three_way(&net, &lone, "lone-transmitter")?;
     }
 
-    /// Clumped (near-duplicate) positions stress the grid bucketing and the
-    /// short-circuit bound; equivalence must survive them too.
+    /// Clumped (near-duplicate) positions stress the grid bucketing, the
+    /// short-circuit bound and the aggregated backend's ring cap (distant
+    /// dense clumps make the occupied-cell set tiny but far apart);
+    /// equivalence must survive them too.
     #[test]
-    fn fast_resolver_equals_naive_on_clumped_deployments(seed in 0u64..10_000, n in 2usize..80) {
+    fn backends_equal_naive_on_clumped_deployments(seed in 0u64..10_000, n in 2usize..80) {
         let mut rng = Rng64::new(seed ^ 0xc1a9);
         let mut pts = Vec::with_capacity(n);
         let mut anchor = Point::new(0.0, 0.0);
@@ -95,9 +107,38 @@ proptest! {
         }
         let net = Network::builder(pts).build().expect("nonempty");
         let tx: Vec<usize> = (0..n).filter(|_| rng.chance(0.4)).collect();
-        prop_assert_eq!(
-            sorted(Radio::new().resolve(&net, &tx)),
-            sorted(Radio::resolve_naive(&net, &tx))
-        );
+        assert_three_way(&net, &tx, "clumped")?;
+    }
+
+    /// Nodes sitting *exactly* on grid-cell boundaries (integer and
+    /// half-integer lattices, including negative coordinates) — the worst
+    /// case for cell bucketing and for the aggregated backend's
+    /// "everything outside ring k is farther than k·cell" argument, which
+    /// must hold for points on cell edges too.
+    #[test]
+    fn backends_equal_naive_on_grid_boundary_deployments(
+        seed in 0u64..10_000,
+        rows in 2usize..9,
+        cols in 2usize..9,
+        half_step in 0u32..2,
+        tx_permille in 50u32..950,
+    ) {
+        let mut rng = Rng64::new(seed ^ 0xb0b0);
+        let step = if half_step == 1 { 0.5 } else { 1.0 };
+        // Offset so part of the lattice has negative coordinates (floor()
+        // cell keys change sign there).
+        let mut pts = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                pts.push(Point::new(
+                    j as f64 * step - 1.0,
+                    i as f64 * step - 1.0,
+                ));
+            }
+        }
+        let net = Network::builder(pts).build().expect("nonempty");
+        let tx: Vec<usize> =
+            (0..rows * cols).filter(|_| rng.chance(tx_permille as f64 / 1000.0)).collect();
+        assert_three_way(&net, &tx, "grid-boundary")?;
     }
 }

@@ -52,13 +52,16 @@ pub use dcluster_sim as sim;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use dcluster_core::check::audit_resolver_equivalence;
     pub use dcluster_core::check::{check_clustering, local_broadcast_complete};
     pub use dcluster_core::clustering::clustering;
     pub use dcluster_core::global_broadcast::{global_broadcast, sms_broadcast};
     pub use dcluster_core::leader::leader_election;
     pub use dcluster_core::local_broadcast::local_broadcast;
     pub use dcluster_core::wakeup::wakeup;
-    pub use dcluster_core::{Msg, ProtocolParams, SeedSeq, Stack};
+    pub use dcluster_core::{Msg, ProtocolParams, SeedSeq, Stack, UnitTrace};
     pub use dcluster_sim::rng::Rng64;
-    pub use dcluster_sim::{deploy, Engine, Network, Point, SinrParams};
+    pub use dcluster_sim::{
+        deploy, Engine, Network, Point, ResolverKind, SinrParams, SinrResolver,
+    };
 }

@@ -123,6 +123,42 @@ fn distinct_seedseq_values_are_used_not_ignored() {
 }
 
 #[test]
+fn every_resolver_backend_is_byte_identical_across_runs() {
+    // The determinism guarantee must hold per backend: two from-scratch
+    // executions with the same backend agree byte for byte — and because
+    // the backends are observationally equivalent, the assignments must
+    // also agree *across* backends.
+    let params = ProtocolParams::practical();
+    let run = |kind: ResolverKind| {
+        let net = field(424_242);
+        let mut seeds = SeedSeq::new(params.seed);
+        let mut engine = Engine::with_resolver_kind(&net, kind);
+        let all: Vec<usize> = (0..net.len()).collect();
+        let cl = clustering(&mut engine, &params, &mut seeds, &all, net.density());
+        assert_eq!(engine.resolver_kind(), kind);
+        (cluster_bytes(&cl.cluster_of), cl.rounds, engine.stats())
+    };
+    let mut outcomes = Vec::new();
+    for kind in ResolverKind::ALL {
+        let first = run(kind);
+        let second = run(kind);
+        assert!(!first.0.is_empty());
+        assert_eq!(
+            first, second,
+            "backend {kind} must be byte-identical across runs"
+        );
+        outcomes.push((kind, first));
+    }
+    for pair in outcomes.windows(2) {
+        assert_eq!(
+            pair[0].1, pair[1].1,
+            "backends {} and {} must produce identical executions",
+            pair[0].0, pair[1].0
+        );
+    }
+}
+
+#[test]
 fn network_construction_is_reproducible() {
     let a = field(74);
     let b = field(74);

@@ -38,7 +38,9 @@ fn colocated_nodes_do_not_break_the_radio() {
     ])
     .build()
     .unwrap();
-    let recs = dcluster::sim::radio::Radio::new().resolve(&net, &[0, 1]);
+    let recs = dcluster::sim::ResolverKind::Grid
+        .build()
+        .resolve(&net, &[0, 1]);
     // Colocated simultaneous transmitters annihilate each other.
     assert!(recs.iter().all(|r| r.receiver != 2 || r.sender == 2));
     let params = ProtocolParams::practical();
