@@ -108,21 +108,32 @@ pub fn full_scale() -> bool {
 /// env var; `None` means "use the network's scale-aware default". Unknown
 /// kinds abort with the parse error (a typo must not silently fall back).
 pub fn resolver_override() -> Option<dcluster_sim::ResolverKind> {
-    let parse = |s: &str| match s.parse::<dcluster_sim::ResolverKind>() {
-        Ok(kind) => kind,
-        Err(e) => panic!("--resolver: {e}"),
-    };
+    flag_value("--resolver")
+        .map(|v| match v.parse::<dcluster_sim::ResolverKind>() {
+            Ok(kind) => kind,
+            Err(e) => panic!("--resolver: {e}"),
+        })
+        // Same env fallback the examples use (`Engine::from_env`).
+        .or_else(dcluster_sim::ResolverKind::from_env)
+}
+
+/// A `--flag value` / `--flag=value` string option from the command line
+/// (shared by the scenario flags of the dynamics binaries).
+pub fn flag_value(flag: &str) -> Option<String> {
+    let eq = format!("{flag}=");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if let Some(v) = arg.strip_prefix("--resolver=") {
-            return Some(parse(v));
+        if let Some(v) = arg.strip_prefix(&eq) {
+            return Some(v.to_string());
         }
-        if arg == "--resolver" {
-            let v = args.next().expect("--resolver needs a value");
-            return Some(parse(&v));
+        if arg == flag {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} needs a value")),
+            );
         }
     }
-    std::env::var("DCLUSTER_RESOLVER").ok().map(|v| parse(&v))
+    None
 }
 
 /// Creates the engine every experiment binary should use: the

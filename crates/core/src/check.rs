@@ -81,12 +81,28 @@ pub struct ClusteringReport {
 /// Computes the report. `cluster_of[v]` is the cluster of node `v` (cluster
 /// IDs are the paper IDs of the center nodes); `None` = unassigned.
 pub fn check_clustering(net: &Network, cluster_of: &[Option<u64>]) -> ClusteringReport {
-    let n = net.len();
-    let unassigned = cluster_of.iter().filter(|c| c.is_none()).count();
+    let all: Vec<usize> = (0..net.len()).collect();
+    check_clustering_on(net, cluster_of, &all)
+}
+
+/// [`check_clustering`] restricted to a participant subset (the awake set
+/// under dynamics): only `nodes` are expected to be assigned, and only
+/// their memberships count toward the radius / per-ball / separation
+/// measurements — an asleep node with a stale assignment is invisible.
+pub fn check_clustering_on(
+    net: &Network,
+    cluster_of: &[Option<u64>],
+    nodes: &[usize],
+) -> ClusteringReport {
+    let mut in_subset = vec![false; net.len()];
+    for &v in nodes {
+        in_subset[v] = true;
+    }
+    let unassigned = nodes.iter().filter(|&&v| cluster_of[v].is_none()).count();
     let mut members: HashMap<u64, Vec<usize>> = HashMap::new();
-    for (v, c) in cluster_of.iter().enumerate() {
-        if let Some(c) = c {
-            members.entry(*c).or_default().push(v);
+    for &v in nodes {
+        if let Some(c) = cluster_of[v] {
+            members.entry(c).or_default().push(v);
         }
     }
     // Radius around the center node (the node whose ID is the cluster ID).
@@ -98,12 +114,15 @@ pub fn check_clustering(net: &Network, cluster_of: &[Option<u64>]) -> Clustering
             }
         }
     }
-    // Clusters intersecting unit balls centered at nodes.
+    // Clusters intersecting unit balls centered at participant nodes.
     let r = net.params().range();
     let mut max_cpb = 0;
-    for v in 0..n {
+    for &v in nodes {
         let mut seen: HashSet<u64> = HashSet::new();
         for u in net.grid().within(net.points(), net.pos(v), r) {
+            if !in_subset[u] {
+                continue;
+            }
             if let Some(c) = cluster_of[u] {
                 seen.insert(c);
             }
@@ -190,6 +209,32 @@ mod tests {
         let (net, mut cl) = two_cluster_net();
         cl[2] = None;
         assert_eq!(check_clustering(&net, &cl).unassigned, 1);
+    }
+
+    #[test]
+    fn subset_report_ignores_non_participants() {
+        let (net, mut cl) = two_cluster_net();
+        // Node 2 is asleep with a stale (even absurd) assignment: the
+        // subset report must not see it.
+        cl[2] = Some(4);
+        let awake = vec![0, 1, 3, 4];
+        let rep = check_clustering_on(&net, &cl, &awake);
+        assert_eq!(rep.unassigned, 0);
+        assert_eq!(rep.clusters, 2);
+        assert!(
+            (rep.max_radius - 0.3).abs() < 1e-9,
+            "stale member of cluster 4 at distance 5+ must be invisible, got {}",
+            rep.max_radius
+        );
+        // Waking it back up makes the absurd assignment visible again.
+        let all: Vec<usize> = (0..net.len()).collect();
+        let rep_all = check_clustering_on(&net, &cl, &all);
+        assert!(rep_all.max_radius > 4.0);
+        assert_eq!(
+            check_clustering(&net, &cl),
+            rep_all,
+            "full-set report is the subset report over all nodes"
+        );
     }
 
     #[test]

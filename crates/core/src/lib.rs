@@ -16,6 +16,7 @@
 //! | `SMSBroadcast` / global broadcast (Alg. 8, Theorem 3) | [`mod@global_broadcast`] |
 //! | Wake-up (Theorem 4) | [`wakeup`] |
 //! | Leader election (Theorem 5) | [`leader`] |
+//! | Cluster maintenance under dynamics (extension) | [`maintenance`] |
 //!
 //! The protocols are orchestrated synchronous schedules over the
 //! [`dcluster_sim`] engine; see DESIGN.md §3 for the locality discipline
@@ -52,6 +53,7 @@ pub mod global_broadcast;
 pub mod labeling;
 pub mod leader;
 pub mod local_broadcast;
+pub mod maintenance;
 pub mod mis;
 pub mod msg;
 pub mod params;
@@ -67,6 +69,7 @@ pub use check::{audit_resolver_equivalence, ResolverDisagreement};
 pub use clustering::{clustering as run_clustering, Clustering};
 pub use global_broadcast::{global_broadcast, sms_broadcast, BroadcastOutcome};
 pub use local_broadcast::{local_broadcast, LocalBroadcastOutcome};
+pub use maintenance::{EpochReport, MaintenanceConfig, MaintenanceDriver, MaintenanceSummary};
 pub use msg::Msg;
 pub use params::ProtocolParams;
 pub use run::{SeedSeq, UnitTrace};

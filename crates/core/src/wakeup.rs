@@ -81,6 +81,43 @@ mod tests {
     }
 
     #[test]
+    fn wakeup_on_an_incrementally_mutated_network_matches_a_rebuild() {
+        // The dynamics subsystem patches networks in place; wake-up (the
+        // protocol churn recovery is built on) must behave identically on
+        // the patched network and on one rebuilt from scratch.
+        let mut rng = Rng64::new(92);
+        let pts = deploy::corridor_with_spine(20, 5.0, 1.0, 0.5, &mut rng);
+        let mut net = Network::builder(pts).build().unwrap();
+        for step in 0..10 {
+            let v = step % net.len();
+            let p = net.pos(v);
+            net.move_node(
+                v,
+                dcluster_sim::Point::new(p.x + 0.07, (p.y - 0.05).max(0.0)),
+            );
+        }
+        let rebuilt = Network::builder(net.points().to_vec())
+            .ids(net.ids().to_vec())
+            .max_id(net.max_id())
+            .params(*net.params())
+            .build()
+            .unwrap();
+        let params = ProtocolParams::practical();
+        let run = |n: &Network| {
+            let mut seeds = SeedSeq::new(params.seed);
+            let mut engine = Engine::new(n);
+            let out = wakeup(&mut engine, &params, &mut seeds, &[0, 7], n.density());
+            (out.rounds, out.all_awake, out.centers)
+        };
+        let (rounds_a, awake_a, centers_a) = run(&net);
+        let (rounds_b, awake_b, centers_b) = run(&rebuilt);
+        assert!(awake_a, "mutated corridor still wakes fully");
+        assert_eq!(rounds_a, rounds_b, "round-for-round identical execution");
+        assert_eq!(centers_a, centers_b);
+        assert_eq!(awake_a, awake_b);
+    }
+
+    #[test]
     fn many_spontaneous_nodes_still_work() {
         let mut rng = Rng64::new(91);
         let pts = deploy::corridor_with_spine(20, 5.0, 1.0, 0.5, &mut rng);

@@ -1,0 +1,96 @@
+//! # dcluster-dynamics — scenario engine for evolving networks
+//!
+//! The paper's clustering is defined for *static* SINR networks, but its
+//! motivating deployments — sensors in a rescue area, ad hoc fleets —
+//! move, sleep, crash and wake. This crate is the deterministic scenario
+//! engine that evolves a deployed [`Network`] **between protocol rounds**:
+//!
+//! * a [`World`] wraps a network plus per-node awake flags and applies
+//!   [`WorldUpdate`] streams **incrementally** — a step that touches `k`
+//!   nodes costs `O(k·Δ)` grid/comm-graph maintenance instead of an
+//!   `O(n·Δ)` rebuild, and is audited to be structurally identical to a
+//!   rebuild ([`World::audit_incremental`]);
+//! * composable [`DynamicsModel`]s generate the updates: mobility
+//!   ([`mobility::RandomWaypoint`], [`mobility::RandomWalk`],
+//!   [`mobility::GroupDrift`]), churn ([`churn::Churn`] — deterministic
+//!   Poisson-like sleep/wake streams layered on the paper's wake-up
+//!   semantics), and heterogeneous power
+//!   ([`dcluster_sim::deploy::power_profile`] at deployment,
+//!   [`WorldUpdate::SetPower`] at run time);
+//! * everything is seeded and hash-driven: the same seeds replay the exact
+//!   same world history, byte for byte, which is what lets the
+//!   `dynamics_maintenance` bench gate on bit-identical repeated runs.
+//!
+//! The cluster-maintenance driver consuming these worlds lives in
+//! `dcluster-core::maintenance`; the experiment binary in
+//! `dcluster-bench` (`dynamics_maintenance`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dcluster_dynamics::{mobility::RandomWaypoint, churn::Churn, DynamicsModel, World};
+//! use dcluster_sim::{deploy, rng::Rng64, Network};
+//!
+//! let mut rng = Rng64::new(3);
+//! let net = Network::builder(deploy::uniform_square(60, 3.0, &mut rng))
+//!     .build()
+//!     .expect("valid deployment");
+//! let mut world = World::new(net);
+//! let mut models: Vec<Box<dyn DynamicsModel>> = vec![
+//!     Box::new(RandomWaypoint::new(60, (3.0, 3.0), 0.2, 0.25, 7)),
+//!     Box::new(Churn::new(11, 0.05, 0.3)),
+//! ];
+//! for _ in 0..5 {
+//!     world.step(&mut models);
+//! }
+//! assert_eq!(world.epoch(), 5);
+//! world.audit_incremental().expect("incremental == rebuild");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod mobility;
+pub mod world;
+
+pub use churn::Churn;
+pub use mobility::{GroupDrift, MobilityKind, RandomWalk, RandomWaypoint};
+pub use world::{World, WorldStats, WorldUpdate};
+
+use dcluster_sim::Network;
+
+/// A composable generator of world updates, advanced once per epoch.
+///
+/// Implementations must be **deterministic**: the same construction seed
+/// and the same world history always produce the same update stream. They
+/// must not inspect anything but the world passed in (no ambient state),
+/// so that scenarios replay exactly.
+pub trait DynamicsModel {
+    /// Short stable name (CLI flags, traces).
+    fn name(&self) -> &'static str;
+
+    /// Appends this epoch's updates for `world` to `out`. Implementations
+    /// see the world *before* any of this epoch's updates are applied;
+    /// [`World::step`] applies the concatenated stream afterwards.
+    fn advance(&mut self, world: &World, out: &mut Vec<WorldUpdate>);
+}
+
+/// Convenience: a fresh network deployed like `net` but with every node's
+/// power drawn from [`dcluster_sim::deploy::power_profile`] — the standard
+/// heterogeneous-power variant of a scenario.
+///
+/// # Panics
+///
+/// Panics if the profile produces an invalid power (it cannot for
+/// `base > 0`, `spread ≥ 0`).
+pub fn with_power_profile(net: &Network, spread: f64, seed: u64) -> Network {
+    let powers = dcluster_sim::deploy::power_profile(net.len(), net.params().power, spread, seed);
+    Network::builder(net.points().to_vec())
+        .ids(net.ids().to_vec())
+        .max_id(net.max_id())
+        .params(*net.params())
+        .powers(powers)
+        .build()
+        .expect("re-building an already-valid network cannot fail")
+}

@@ -135,9 +135,41 @@ pub fn uniform_with_target_degree(
     uniform_square(n, side.max(comm_radius), rng)
 }
 
+/// Per-node transmit powers for a heterogeneous deployment: node `v` gets
+/// `base · (1 + spread · h(v))` with `h(v) ∈ [0, 1)` hashed
+/// deterministically from `seed` — a mixed fleet of radios (e.g.
+/// `spread = 0.5` for up to 1.5× the model power). `spread = 0` reproduces
+/// the paper's uniform-power setting exactly.
+pub fn power_profile(n: usize, base: f64, spread: f64, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|v| {
+            let h = (crate::rng::hash64(seed, &[v as u64]) >> 11) as f64 / (1u64 << 53) as f64;
+            if spread == 0.0 {
+                base
+            } else {
+                base * (1.0 + spread * h)
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn power_profile_is_deterministic_and_bounded() {
+        let a = power_profile(100, 2.0, 0.5, 9);
+        let b = power_profile(100, 2.0, 0.5, 9);
+        assert_eq!(a, b, "same seed, same profile");
+        assert!(a.iter().all(|&p| (2.0..3.0).contains(&p)));
+        assert_ne!(a, power_profile(100, 2.0, 0.5, 10));
+        assert_eq!(
+            power_profile(10, 2.0, 0.0, 9),
+            vec![2.0; 10],
+            "zero spread is exactly uniform"
+        );
+    }
 
     #[test]
     fn uniform_square_stays_in_bounds() {

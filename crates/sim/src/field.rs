@@ -16,8 +16,10 @@
 //!    cells whose every point is at Euclidean distance `> k·cell` from `u`
 //!    (their cell index differs by more than `k` in some axis, and `u` lies
 //!    inside its own cell). With `far = |T| − near_count` of them, the
-//!    far-field interference lies in `[0, far · signal(k·cell)]` — a single
-//!    O(1) residual computed from the per-cell occupancy aggregates.
+//!    far-field interference lies in `[0, far · P̂/(k·cell)^α]` where `P̂`
+//!    is the field's power cap (= the uniform `P` in the paper's setting)
+//!    — a single O(1) residual computed from the per-cell occupancy
+//!    aggregates.
 //! 3. **Monotone decisions.** The reception test accepts iff
 //!    `s1 ≥ β·(noise + I)` with `I = I_near + I_far`. Since
 //!    `I ≥ I_near`, failing the test already at `I_near` is a definitive
@@ -68,23 +70,49 @@ pub struct FieldStats {
 
 /// A per-round interference summary over the transmitter set. See the
 /// module docs for the exactness argument.
+///
+/// Under **heterogeneous power** the cell sums use each transmitter's own
+/// power (`powers` is threaded through [`InterferenceField::build`] and
+/// [`InterferenceField::decide`]), and the far-field residual bound uses a
+/// per-field **power cap** (≥ every stored transmitter's power) in place
+/// of the uniform `P` — still a valid upper bound, so decisions stay
+/// exact. With uniform power every formula is bit-identical to the classic
+/// path.
+///
+/// The field also supports **sparse maintenance** across rounds
+/// ([`insert_transmitter`](InterferenceField::insert_transmitter),
+/// [`remove_transmitter`](InterferenceField::remove_transmitter),
+/// [`move_transmitter`](InterferenceField::move_transmitter)): workloads
+/// whose transmitter set changes by `k` nodes per round pay `O(k)` updates
+/// instead of an `O(|T|)` rebuild, and the maintained field returns
+/// exactly the decisions of a fresh rebuild (the underlying grid is
+/// structurally identical; the power cap may stay loose after removals,
+/// which can only shift *which* bound concludes, never the decision).
 #[derive(Debug)]
 pub struct InterferenceField {
     grid: Grid,
     /// Transmitter indices in caller order — the exact fallback iterates
     /// this (not the hash map of cells) so summation order, and with it
     /// every last-ulp rounding decision, is deterministic across runs.
+    /// (Engine-produced transmitter sets are sorted ascending, which is
+    /// also what the incremental operations maintain.)
     tx: Vec<u32>,
+    /// Upper bound on every stored transmitter's power; drives the
+    /// far-field residual. Monotone under maintenance: removals keep it.
+    power_cap: f64,
     stats: FieldStats,
 }
 
 impl InterferenceField {
     /// Builds the field for one round: a subset grid over `transmitters`
     /// (cell side = transmission range) plus its occupancy aggregates.
-    pub fn build(points: &[Point], transmitters: &[usize], cell: f64) -> Self {
+    /// `powers` is the full per-node power array (uniform deployments pass
+    /// `network.powers()`, which is all `params.power`).
+    pub fn build(points: &[Point], powers: &[f64], transmitters: &[usize], cell: f64) -> Self {
         Self {
             grid: Grid::build_subset(points, transmitters, cell),
             tx: transmitters.iter().map(|&t| t as u32).collect(),
+            power_cap: transmitters.iter().map(|&t| powers[t]).fold(0.0, f64::max),
             stats: FieldStats::default(),
         }
     }
@@ -104,6 +132,45 @@ impl InterferenceField {
         self.stats
     }
 
+    /// Adds transmitter `t` (not currently stored) at `points[t]` —
+    /// `O(1)` hash-map work. Requires the field's transmitter set to be
+    /// sorted ascending (true for every engine-produced set).
+    pub fn insert_transmitter(&mut self, points: &[Point], powers: &[f64], t: usize) {
+        debug_assert!(
+            self.tx.windows(2).all(|w| w[0] < w[1]),
+            "incremental maintenance requires a sorted transmitter set"
+        );
+        self.grid.insert(t, points[t]);
+        match self.tx.binary_search(&(t as u32)) {
+            Ok(_) => debug_assert!(false, "transmitter {t} inserted twice"),
+            Err(pos) => self.tx.insert(pos, t as u32),
+        }
+        self.power_cap = self.power_cap.max(powers[t]);
+    }
+
+    /// Removes stored transmitter `t` located at `points[t]`. The power
+    /// cap is deliberately kept (still a valid, possibly loose, bound —
+    /// tightening it would cost an `O(|T|)` rescan without changing any
+    /// decision).
+    pub fn remove_transmitter(&mut self, points: &[Point], t: usize) {
+        self.grid.remove(t, points[t]);
+        let pos = self
+            .tx
+            .binary_search(&(t as u32))
+            .unwrap_or_else(|_| panic!("transmitter {t} not stored in the field"));
+        self.tx.remove(pos);
+    }
+
+    /// Relocates stored transmitter `t` from `from` to `to` (the caller
+    /// updates its own points array; the field stores only indices).
+    pub fn move_transmitter(&mut self, t: usize, from: Point, to: Point) {
+        debug_assert!(
+            self.tx.binary_search(&(t as u32)).is_ok(),
+            "moving a transmitter ({t}) the field does not store"
+        );
+        self.grid.move_point(t, from, to);
+    }
+
     /// Decides whether a candidate reception survives the full SINR test:
     /// returns `s1 ≥ β·(noise + I)` where `I` is the total interference at
     /// `u` over all transmitters except `sender` (whose signal `s1` at `u`
@@ -111,6 +178,7 @@ impl InterferenceField {
     pub fn decide(
         &mut self,
         points: &[Point],
+        powers: &[f64],
         params: &SinrParams,
         u: Point,
         sender: usize,
@@ -119,6 +187,10 @@ impl InterferenceField {
         self.stats.queries += 1;
         let cell = self.grid.cell_size();
         let (ucx, ucy) = self.grid.key_of(u);
+        // Per-transmitter signal `P_w / d^α` — bit-identical to
+        // `params.signal` when `powers[w]` is the model power.
+        let alpha = params.alpha;
+        let sig = |w: usize, d: f64| powers[w] / d.max(1e-12).powf(alpha);
         // Interferers = all transmitters but the sender.
         let interferers = self.tx.len() - 1;
         let mut i_near = 0.0f64; // exact, cell-grouped partial sums
@@ -142,7 +214,7 @@ impl InterferenceField {
                     if w == sender {
                         continue;
                     }
-                    i_near += params.signal(points[w].dist(u));
+                    i_near += sig(w, points[w].dist(u));
                     near_count += 1;
                 }
             }
@@ -158,10 +230,12 @@ impl InterferenceField {
             }
             // Accept: even the residual upper bound cannot push the
             // interference past the threshold. Everything beyond ring k is
-            // farther than k·cell from u.
+            // farther than k·cell from u, and no stored transmitter
+            // exceeds the power cap.
             if k >= 1 {
                 let far = (interferers - near_count) as f64;
-                let residual = far * params.signal(k as f64 * cell);
+                let kc = (k as f64 * cell).max(1e-12);
+                let residual = far * (self.power_cap / kc.powf(alpha));
                 if s1 >= params.beta * (params.noise + i_near + residual) {
                     self.stats.residual_decided += 1;
                     return true;
@@ -186,7 +260,7 @@ impl InterferenceField {
             if (cx - ucx).abs() <= k_cap && (cy - ucy).abs() <= k_cap {
                 continue; // already in i_near
             }
-            i_total += params.signal(points[w].dist(u));
+            i_total += sig(w, points[w].dist(u));
         }
         s1 >= params.beta * (params.noise + i_total)
     }
@@ -226,6 +300,10 @@ mod tests {
         assert_eq!(seen.len(), 7 * 7, "rings 0..=3 must tile the 7x7 block");
     }
 
+    fn uniform_powers(n: usize, params: &SinrParams) -> Vec<f64> {
+        vec![params.power; n]
+    }
+
     #[test]
     fn decide_matches_full_sum_on_random_rounds() {
         let params = SinrParams::default();
@@ -240,7 +318,8 @@ mod tests {
             if tx.is_empty() {
                 continue;
             }
-            let mut field = InterferenceField::build(&pts, &tx, params.range());
+            let powers = uniform_powers(n, &params);
+            let mut field = InterferenceField::build(&pts, &powers, &tx, params.range());
             for u in 0..n {
                 if tx.contains(&u) {
                     continue;
@@ -253,8 +332,90 @@ mod tests {
                         .map(|&w| params.signal(pts[w].dist(pts[u])))
                         .sum();
                     let want = s1 >= params.beta * (params.noise + full);
-                    let got = field.decide(&pts, &params, pts[u], v, s1);
+                    let got = field.decide(&pts, &powers, &params, pts[u], v, s1);
                     assert_eq!(got, want, "trial {trial}: receiver {u}, sender {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decide_matches_full_sum_under_heterogeneous_power() {
+        let params = SinrParams::default();
+        let mut rng = Rng64::new(77);
+        for trial in 0..25 {
+            let n = 25 + trial * 6;
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.range_f64(0.0, 5.0), rng.range_f64(0.0, 5.0)))
+                .collect();
+            let powers: Vec<f64> = (0..n)
+                .map(|_| params.power * (0.5 + 4.0 * rng.next_f64()))
+                .collect();
+            let tx: Vec<usize> = (0..n).filter(|_| rng.chance(0.3)).collect();
+            if tx.is_empty() {
+                continue;
+            }
+            let sig = |w: usize, d: f64| powers[w] / d.max(1e-12).powf(params.alpha);
+            let mut field = InterferenceField::build(&pts, &powers, &tx, params.range());
+            for u in 0..n {
+                if tx.contains(&u) {
+                    continue;
+                }
+                for &v in &tx {
+                    let s1 = sig(v, pts[v].dist(pts[u]));
+                    let full: f64 = tx
+                        .iter()
+                        .filter(|&&w| w != v)
+                        .map(|&w| sig(w, pts[w].dist(pts[u])))
+                        .sum();
+                    let want = s1 >= params.beta * (params.noise + full);
+                    let got = field.decide(&pts, &powers, &params, pts[u], v, s1);
+                    assert_eq!(got, want, "trial {trial}: receiver {u}, sender {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incrementally_maintained_field_decides_like_a_fresh_one() {
+        let params = SinrParams::default();
+        let mut rng = Rng64::new(55);
+        let n = 120;
+        let mut pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.range_f64(0.0, 4.0), rng.range_f64(0.0, 4.0)))
+            .collect();
+        let powers: Vec<f64> = (0..n)
+            .map(|_| params.power * (1.0 + rng.next_f64()))
+            .collect();
+        let mut tx: Vec<usize> = (0..n).filter(|_| rng.chance(0.3)).collect();
+        let mut field = InterferenceField::build(&pts, &powers, &tx, params.range());
+        for round in 0..30 {
+            // Mutate the transmitter set and positions sparsely.
+            let mover = tx[rng.range_usize(tx.len())];
+            let to = Point::new(rng.range_f64(0.0, 4.0), rng.range_f64(0.0, 4.0));
+            field.move_transmitter(mover, pts[mover], to);
+            pts[mover] = to;
+            let departing = tx[rng.range_usize(tx.len())];
+            field.remove_transmitter(&pts, departing);
+            tx.retain(|&t| t != departing);
+            if let Some(joiner) = (0..n).find(|v| !tx.contains(v)) {
+                field.insert_transmitter(&pts, &powers, joiner);
+                tx.push(joiner);
+                tx.sort_unstable();
+            }
+            // The maintained field must decide exactly like a rebuilt one.
+            let mut fresh = InterferenceField::build(&pts, &powers, &tx, params.range());
+            assert_eq!(field.grid(), fresh.grid(), "round {round}: grid diverged");
+            assert_eq!(field.transmitter_count(), tx.len());
+            for u in (0..n).filter(|u| !tx.contains(u)).take(20) {
+                for &v in &tx {
+                    let s1 = powers[v] / pts[v].dist(pts[u]).max(1e-12).powf(params.alpha);
+                    assert_eq!(
+                        field.decide(&pts, &powers, &params, pts[u], v, s1),
+                        fresh.decide(&pts, &powers, &params, pts[u], v, s1),
+                        "round {round}: maintained and fresh fields disagree \
+                         (receiver {u}, sender {v})"
+                    );
                 }
             }
         }
@@ -269,10 +430,11 @@ mod tests {
             Point::new(9.0, 9.0),
         ];
         let tx = vec![0, 2];
-        let mut field = InterferenceField::build(&pts, &tx, params.range());
+        let powers = uniform_powers(3, &params);
+        let mut field = InterferenceField::build(&pts, &powers, &tx, params.range());
         assert_eq!(field.transmitter_count(), 2);
         let s1 = params.signal(pts[0].dist(pts[1]));
-        let _ = field.decide(&pts, &params, pts[1], 0, s1);
+        let _ = field.decide(&pts, &powers, &params, pts[1], 0, s1);
         let st = field.stats();
         assert_eq!(st.queries, 1);
         assert_eq!(

@@ -4,6 +4,17 @@
 //! density estimation, nearest-transmitter search in the SINR resolver) go
 //! through this index. Cells have a fixed side length; a disk query of radius
 //! `r` touches `O((r/cell)²)` cells.
+//!
+//! The grid supports **sparse maintenance** ([`Grid::insert`],
+//! [`Grid::remove`], [`Grid::move_point`]): a dynamics step that moves `k`
+//! nodes costs `O(k)` hash-map updates instead of an `O(n)` rebuild. Each
+//! cell's member list is kept sorted ascending, so an incrementally
+//! maintained grid is **structurally identical** to one rebuilt from
+//! scratch over the same points — query iteration order, and with it every
+//! floating-point summation downstream, is the same either way. (Fresh
+//! builds insert indices in increasing order, so they satisfy the sorted
+//! invariant for free; [`Grid::build_subset`] requires its subset sorted
+//! for the same reason.)
 
 use crate::point::Point;
 use std::collections::HashMap;
@@ -17,7 +28,7 @@ use std::collections::HashMap;
 /// let near: Vec<usize> = grid.within(&pts, Point::new(0.0, 0.0), 1.0).collect();
 /// assert_eq!(near, vec![0, 1]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid {
     cell: f64,
     cells: HashMap<(i64, i64), Vec<u32>>,
@@ -62,7 +73,11 @@ impl Grid {
     }
 
     /// Builds a grid over a *subset* of the points (e.g. this round's
-    /// transmitters); stored indices refer to the original slice.
+    /// transmitters); stored indices refer to the original slice. Member
+    /// lists hold the subset's order per cell; pass the subset sorted
+    /// ascending (engine-produced transmitter sets are) when the grid will
+    /// be maintained incrementally — the sorted-member invariant is what
+    /// makes a maintained grid equal a fresh rebuild.
     pub fn build_subset(points: &[Point], subset: &[usize], cell: f64) -> Self {
         assert!(
             cell > 0.0 && cell.is_finite(),
@@ -170,6 +185,51 @@ impl Grid {
     #[inline]
     pub fn cell_members(&self, key: (i64, i64)) -> &[u32] {
         self.cells.get(&key).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Inserts point index `i` located at `p` — `O(cell occupancy)` for the
+    /// sorted insertion. The point must not already be stored at `p`'s cell.
+    pub fn insert(&mut self, i: usize, p: Point) {
+        let members = self.cells.entry(Self::key(&p, self.cell)).or_default();
+        let idx = i as u32;
+        match members.binary_search(&idx) {
+            Ok(_) => debug_assert!(false, "point {i} already stored in its cell"),
+            Err(pos) => members.insert(pos, idx),
+        }
+    }
+
+    /// Removes point index `i` located at `p` (the position it was inserted
+    /// under). Empty cells are dropped from the map so an incrementally
+    /// maintained grid stays structurally identical to a fresh rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not stored in `p`'s cell — that means the caller's
+    /// position bookkeeping has diverged from the grid.
+    pub fn remove(&mut self, i: usize, p: Point) {
+        let key = Self::key(&p, self.cell);
+        let members = self
+            .cells
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("removing {i} from an empty cell {key:?}"));
+        let pos = members
+            .binary_search(&(i as u32))
+            .unwrap_or_else(|_| panic!("point {i} not stored in cell {key:?}"));
+        members.remove(pos);
+        if members.is_empty() {
+            self.cells.remove(&key);
+        }
+    }
+
+    /// Relocates point index `i` from `from` to `to`. A no-op when both
+    /// positions hash to the same cell (the grid stores indices, not
+    /// coordinates — callers own the position array).
+    pub fn move_point(&mut self, i: usize, from: Point, to: Point) {
+        if Self::key(&from, self.cell) == Self::key(&to, self.cell) {
+            return;
+        }
+        self.remove(i, from);
+        self.insert(i, to);
     }
 
     fn candidate_cells(&self, center: Point, r: f64) -> impl Iterator<Item = &Vec<u32>> + '_ {
@@ -281,6 +341,58 @@ mod tests {
         assert_eq!(tn.nearest, 1);
         assert!((tn.d1 - 0.5).abs() < 1e-12);
         assert!(tn.second.is_none());
+    }
+
+    #[test]
+    fn incremental_ops_match_fresh_rebuild() {
+        let mut rng = Rng64::new(77);
+        let mut pts: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.range_f64(0.0, 6.0), rng.range_f64(0.0, 6.0)))
+            .collect();
+        let mut grid = Grid::build(&pts, 0.8);
+        for _ in 0..500 {
+            let i = rng.range_usize(pts.len());
+            let to = Point::new(rng.range_f64(-1.0, 7.0), rng.range_f64(-1.0, 7.0));
+            grid.move_point(i, pts[i], to);
+            pts[i] = to;
+        }
+        assert_eq!(
+            grid,
+            Grid::build(&pts, 0.8),
+            "incrementally moved grid must equal a fresh rebuild, \
+             including per-cell member order"
+        );
+    }
+
+    #[test]
+    fn remove_drops_empty_cells() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0)];
+        let mut grid = Grid::build(&pts, 1.0);
+        assert_eq!(grid.occupied_cells(), 2);
+        grid.remove(1, pts[1]);
+        assert_eq!(grid.occupied_cells(), 1);
+        assert_eq!(grid, Grid::build_subset(&pts, &[0], 1.0));
+        grid.insert(1, pts[1]);
+        assert_eq!(grid, Grid::build(&pts, 1.0));
+    }
+
+    #[test]
+    fn move_within_a_cell_is_a_noop_on_structure() {
+        let mut pts = vec![Point::new(0.2, 0.2), Point::new(0.4, 0.4)];
+        let mut grid = Grid::build(&pts, 1.0);
+        let before = grid.clone();
+        grid.move_point(0, pts[0], Point::new(0.9, 0.9));
+        pts[0] = Point::new(0.9, 0.9);
+        assert_eq!(grid, before, "same cell: index sets unchanged");
+        assert_eq!(grid, Grid::build(&pts, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not stored")]
+    fn removing_an_absent_point_panics() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.1)];
+        let mut grid = Grid::build_subset(&pts, &[0], 1.0);
+        grid.remove(1, pts[1]);
     }
 
     #[test]

@@ -1,4 +1,19 @@
-//! Static description of a deployed wireless network.
+//! Description of a deployed wireless network.
+//!
+//! A [`Network`] is built once from a deployment and then queried by the
+//! protocols; under the dynamics subsystem it can also be **mutated
+//! incrementally** ([`Network::move_node`], [`Network::set_power`]): the
+//! spatial grid and the communication graph are patched in `O(Δ)` per
+//! touched node instead of rebuilt, and the result is structurally
+//! identical to a fresh build over the updated deployment (the dynamics
+//! crate's audits enforce this).
+//!
+//! Nodes may carry **heterogeneous transmit powers** (builder:
+//! [`NetworkBuilder::powers`]); all SINR evaluation goes through
+//! [`Network::signal_from`], and per-node ranges through
+//! [`Network::range_of`]. With uniform power (the paper's setting and the
+//! default) every formula reduces bit-for-bit to the classic
+//! `SinrParams::signal` path.
 
 use crate::graph::Graph;
 use crate::grid::Grid;
@@ -8,7 +23,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Error building a [`Network`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NetworkError {
     /// The deployment contains no nodes.
     Empty,
@@ -23,6 +38,20 @@ pub enum NetworkError {
         /// Number of identifiers supplied.
         ids: usize,
     },
+    /// `powers` and `points` have different lengths.
+    PowerLengthMismatch {
+        /// Number of deployment points.
+        points: usize,
+        /// Number of powers supplied.
+        powers: usize,
+    },
+    /// A transmit power is not strictly positive and finite.
+    BadPower {
+        /// Node index with the offending power.
+        node: usize,
+        /// The offending value.
+        power: f64,
+    },
 }
 
 impl fmt::Display for NetworkError {
@@ -35,6 +64,12 @@ impl fmt::Display for NetworkError {
             }
             NetworkError::LengthMismatch { points, ids } => {
                 write!(f, "{points} points but {ids} ids")
+            }
+            NetworkError::PowerLengthMismatch { points, powers } => {
+                write!(f, "{points} points but {powers} powers")
+            }
+            NetworkError::BadPower { node, power } => {
+                write!(f, "node {node} has non-positive power {power}")
             }
         }
     }
@@ -55,6 +90,17 @@ pub struct Network {
     ids: Vec<u64>,
     max_id: u64,
     params: SinrParams,
+    /// Per-node transmit powers (all equal to `params.power` unless the
+    /// builder set heterogeneous ones).
+    powers: Vec<f64>,
+    /// Cached per-node transmission ranges `(powers[v]/(β·noise))^{1/α}`.
+    ranges: Vec<f64>,
+    /// Cached `max(ranges)` — the candidate-search radius of the resolvers.
+    max_range: f64,
+    /// Number of nodes whose power differs from `params.power`
+    /// (0 ⇔ the paper's uniform-power setting) — maintained incrementally
+    /// so `set_power` stays `O(Δ)`.
+    non_model_power: usize,
     grid: Grid,
     comm: Graph,
     id_to_idx: HashMap<u64, usize>,
@@ -68,6 +114,7 @@ impl Network {
             ids: None,
             max_id: None,
             params: SinrParams::default(),
+            powers: None,
             seed: 0,
         }
     }
@@ -188,6 +235,128 @@ impl Network {
     pub fn max_degree(&self) -> usize {
         self.comm.max_degree()
     }
+
+    /// Transmit power of node `v`.
+    #[inline]
+    pub fn power_of(&self, v: usize) -> f64 {
+        self.powers[v]
+    }
+
+    /// All transmit powers, indexable by node index.
+    pub fn powers(&self) -> &[f64] {
+        &self.powers
+    }
+
+    /// True iff every node transmits at the model power `params.power`
+    /// (the paper's uniform-power setting). Resolvers use this to keep the
+    /// nearest-transmitter fast path.
+    #[inline]
+    pub fn has_uniform_power(&self) -> bool {
+        self.non_model_power == 0
+    }
+
+    /// Transmission range of node `v`: `(P_v / (β·noise))^{1/α}` — the
+    /// farthest distance at which `v` alone can be decoded.
+    #[inline]
+    pub fn range_of(&self, v: usize) -> f64 {
+        self.ranges[v]
+    }
+
+    /// The largest per-node transmission range (= `params.range()` under
+    /// uniform power). Any decodable transmitter lies within this radius of
+    /// its receiver, so it bounds every candidate search.
+    #[inline]
+    pub fn max_range(&self) -> f64 {
+        self.max_range
+    }
+
+    /// Communication radius of node `v`: `range_of(v)·(1−ε)`. A comm-graph
+    /// edge `{u, v}` requires `d(u, v) ≤ min(comm radius of u, of v)` — a
+    /// bidirectional link; under uniform power this is the paper's
+    /// distance-`(1−ε)` rule.
+    #[inline]
+    pub fn comm_radius_of(&self, v: usize) -> f64 {
+        self.ranges[v] * (1.0 - self.params.epsilon)
+    }
+
+    /// Received signal strength of transmitter `w` at distance `d`:
+    /// `P_w / d^α`. Bit-identical to [`SinrParams::signal`] when `w`
+    /// transmits at the model power.
+    #[inline]
+    pub fn signal_from(&self, w: usize, d: f64) -> f64 {
+        let d = d.max(1e-12);
+        self.powers[w] / d.powf(self.params.alpha)
+    }
+
+    /// Moves node `v` to `to`, patching the spatial grid and the
+    /// communication graph incrementally (`O(Δ)` plus the grid hash ops).
+    /// The result is structurally identical to rebuilding the network from
+    /// the updated deployment.
+    pub fn move_node(&mut self, v: usize, to: Point) {
+        let from = self.points[v];
+        self.grid.move_point(v, from, to);
+        self.points[v] = to;
+        self.refresh_comm_edges(v);
+    }
+
+    /// Sets node `v`'s transmit power, recomputing its range and patching
+    /// the communication edges incident to `v` — `O(Δ)` amortized: the
+    /// cached `max_range` only needs a full rescan when the current
+    /// maximum shrinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is not strictly positive and finite.
+    pub fn set_power(&mut self, v: usize, power: f64) {
+        assert!(
+            power > 0.0 && power.is_finite(),
+            "node {v} power must be positive, got {power}"
+        );
+        let old_range = self.ranges[v];
+        if self.powers[v] != self.params.power {
+            self.non_model_power -= 1;
+        }
+        if power != self.params.power {
+            self.non_model_power += 1;
+        }
+        self.powers[v] = power;
+        let new_range = range_for(power, &self.params);
+        self.ranges[v] = new_range;
+        if new_range >= self.max_range {
+            self.max_range = new_range;
+        } else if old_range == self.max_range {
+            // The (possibly unique) maximum shrank: rescan.
+            self.max_range = self.ranges.iter().copied().fold(0.0, f64::max);
+        }
+        self.refresh_comm_edges(v);
+    }
+
+    /// Recomputes the communication edges incident to `v` after a move or a
+    /// power change (only those edges can have changed).
+    fn refresh_comm_edges(&mut self, v: usize) {
+        let old: Vec<u32> = self.comm.neighbors(v).to_vec();
+        for u in old {
+            self.comm.remove_edge(v, u as usize);
+        }
+        let cr_v = self.comm_radius_of(v);
+        let pv = self.points[v];
+        // Symmetric squared-distance test (`d² ≤ cr_u²` rather than
+        // `d ≤ cr_u`): evaluating the pair from either endpoint gives the
+        // same floating-point answer, so an incremental refresh of one
+        // endpoint agrees exactly with a full rebuild.
+        let nbrs: Vec<usize> = self.grid.within(&self.points, pv, cr_v).collect();
+        for u in nbrs {
+            let cr_u = self.comm_radius_of(u);
+            if u != v && self.points[u].dist_sq(pv) <= cr_u * cr_u {
+                self.comm.add_edge(v, u);
+            }
+        }
+    }
+}
+
+/// Transmission range for a transmit power under the model parameters.
+fn range_for(power: f64, params: &SinrParams) -> f64 {
+    (power / (params.beta * params.noise)).powf(1.0 / params.alpha)
 }
 
 /// Builder for [`Network`] (see [`Network::builder`]).
@@ -197,6 +366,7 @@ pub struct NetworkBuilder {
     ids: Option<Vec<u64>>,
     max_id: Option<u64>,
     params: SinrParams,
+    powers: Option<Vec<f64>>,
     seed: u64,
 }
 
@@ -204,6 +374,14 @@ impl NetworkBuilder {
     /// Sets SINR parameters (default: [`SinrParams::default`]).
     pub fn params(mut self, params: SinrParams) -> Self {
         self.params = params;
+        self
+    }
+
+    /// Sets heterogeneous per-node transmit powers (default: every node at
+    /// the model power `params.power`). Each power must be strictly
+    /// positive and finite.
+    pub fn powers(mut self, powers: Vec<f64>) -> Self {
+        self.powers = Some(powers);
         self
     }
 
@@ -272,13 +450,40 @@ impl NetworkBuilder {
                 return Err(NetworkError::DuplicateId(id));
             }
         }
+        let powers = match self.powers {
+            Some(powers) => {
+                if powers.len() != n {
+                    return Err(NetworkError::PowerLengthMismatch {
+                        points: n,
+                        powers: powers.len(),
+                    });
+                }
+                if let Some(node) = powers.iter().position(|p| !(p.is_finite() && *p > 0.0)) {
+                    return Err(NetworkError::BadPower {
+                        node,
+                        power: powers[node],
+                    });
+                }
+                powers
+            }
+            None => vec![self.params.power; n],
+        };
+        let ranges: Vec<f64> = powers.iter().map(|&p| range_for(p, &self.params)).collect();
+        let max_range = ranges.iter().copied().fold(0.0, f64::max);
+        let non_model_power = powers.iter().filter(|&&p| p != self.params.power).count();
         let range = self.params.range();
         let grid = Grid::build(&self.points, range);
-        let comm_r = self.params.comm_radius();
+        let eps = self.params.epsilon;
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (v, nbrs) in adj.iter_mut().enumerate() {
-            for u in grid.within(&self.points, self.points[v], comm_r) {
-                if u != v {
+            // Edge rule: d² ≤ min(cr_u, cr_v)² — evaluated with the same
+            // squared-distance comparisons as the incremental
+            // `refresh_comm_edges`, so mutate-then-query equals
+            // rebuild-then-query exactly.
+            let cr_v = ranges[v] * (1.0 - eps);
+            for u in grid.within(&self.points, self.points[v], cr_v) {
+                let cr_u = ranges[u] * (1.0 - eps);
+                if u != v && self.points[u].dist_sq(self.points[v]) <= cr_u * cr_u {
                     nbrs.push(u as u32);
                 }
             }
@@ -289,6 +494,10 @@ impl NetworkBuilder {
             ids,
             max_id: max_id.max(n as u64),
             params: self.params,
+            powers,
+            ranges,
+            max_range,
+            non_model_power,
             grid,
             comm: Graph::from_adjacency(adj),
             id_to_idx,
@@ -373,6 +582,35 @@ mod tests {
     }
 
     #[test]
+    fn neighbors_within_into_clears_a_prepopulated_buffer_exactly() {
+        // The buffer-reuse path must fully replace stale caller content:
+        // start from a buffer longer than any result, holding
+        // plausible-looking node indices, and reuse it across shrinking
+        // radii — each call must leave exactly the fresh result, nothing
+        // appended, nothing left over.
+        let net = Network::builder(square(6, 0.3)).build().unwrap();
+        let mut buf: Vec<usize> = (0..net.len()).collect(); // stale but valid-looking
+        let cap_before = buf.capacity();
+        for &r in &[1.1, 0.65, 0.31, 0.05] {
+            for v in [0, net.len() / 2, net.len() - 1] {
+                net.neighbors_within_into(v, r, &mut buf);
+                assert_eq!(
+                    buf,
+                    net.neighbors_within(v, r),
+                    "reused buffer differs from the allocating form (v={v}, r={r})"
+                );
+                assert!(!buf.contains(&v), "self must stay excluded");
+            }
+        }
+        net.neighbors_within_into(0, 0.0, &mut buf);
+        assert!(buf.is_empty(), "radius 0 leaves no stale entries behind");
+        assert!(
+            buf.capacity() >= cap_before.min(net.len()),
+            "the whole point of the _into form is keeping the allocation"
+        );
+    }
+
+    #[test]
     fn default_resolver_scales_with_size() {
         let small = Network::builder(square(3, 0.5)).build().unwrap();
         assert_eq!(
@@ -386,6 +624,116 @@ mod tests {
             crate::radio::ResolverKind::Aggregated,
             "4096-node nets default to cell aggregation"
         );
+    }
+
+    #[test]
+    fn uniform_power_network_reports_the_model_range() {
+        let net = Network::builder(square(3, 0.5)).build().unwrap();
+        assert!(net.has_uniform_power());
+        assert!((net.max_range() - net.params().range()).abs() < 1e-12);
+        for v in 0..net.len() {
+            assert_eq!(net.power_of(v), net.params().power);
+            assert!((net.range_of(v) - 1.0).abs() < 1e-12);
+            assert!((net.comm_radius_of(v) - 0.8).abs() < 1e-12);
+            let d = 0.37;
+            assert_eq!(net.signal_from(v, d), net.params().signal(d));
+        }
+    }
+
+    #[test]
+    fn comm_edges_require_bidirectional_reach_under_heterogeneous_power() {
+        // Node 0 at 8× power (range 2 under α=3) can hear/reach far, but an
+        // edge needs BOTH endpoints in range: at distance 0.9 > 0.8 the
+        // weak node cannot reach back, so no edge; a weak pair at 0.7 has
+        // one.
+        let p = SinrParams::default();
+        let net = Network::builder(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.9, 0.0),
+            Point::new(0.9, 0.7),
+        ])
+        .powers(vec![8.0 * p.power, p.power, p.power])
+        .params(p)
+        .build()
+        .unwrap();
+        assert!(!net.has_uniform_power());
+        assert!((net.range_of(0) - 2.0).abs() < 1e-12);
+        assert!((net.max_range() - 2.0).abs() < 1e-12);
+        assert!(!net.comm_graph().has_edge(0, 1), "weak side out of reach");
+        assert!(net.comm_graph().has_edge(1, 2), "symmetric weak pair");
+        assert!(net.signal_from(0, 0.5) > net.signal_from(1, 0.5));
+    }
+
+    #[test]
+    fn move_node_matches_rebuild_from_scratch() {
+        let mut rng = crate::rng::Rng64::new(17);
+        let mut pts = crate::deploy::uniform_square(120, 3.0, &mut rng);
+        let powers: Vec<f64> = (0..120)
+            .map(|i| SinrParams::default().power * (1.0 + 0.3 * ((i % 5) as f64) / 4.0))
+            .collect();
+        let mut net = Network::builder(pts.clone())
+            .powers(powers.clone())
+            .build()
+            .unwrap();
+        for step in 0..200 {
+            let v = rng.range_usize(pts.len());
+            let to = Point::new(rng.range_f64(0.0, 3.0), rng.range_f64(0.0, 3.0));
+            net.move_node(v, to);
+            pts[v] = to;
+            if step % 50 == 49 {
+                let fresh = Network::builder(pts.clone())
+                    .powers(powers.clone())
+                    .build()
+                    .unwrap();
+                assert_eq!(net.grid(), fresh.grid(), "grid diverged at {step}");
+                assert_eq!(
+                    net.comm_graph(),
+                    fresh.comm_graph(),
+                    "comm graph diverged at {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_power_updates_ranges_and_edges() {
+        let mut net = Network::builder(vec![Point::new(0.0, 0.0), Point::new(0.9, 0.0)])
+            .build()
+            .unwrap();
+        assert!(!net.comm_graph().has_edge(0, 1), "0.9 > 0.8 comm radius");
+        let p = *net.params();
+        net.set_power(0, 8.0 * p.power);
+        net.set_power(1, 8.0 * p.power);
+        assert!(net.comm_graph().has_edge(0, 1), "both ranges now 2");
+        assert!(!net.has_uniform_power());
+        let fresh = Network::builder(vec![Point::new(0.0, 0.0), Point::new(0.9, 0.0)])
+            .powers(vec![8.0 * p.power; 2])
+            .build()
+            .unwrap();
+        assert_eq!(net.comm_graph(), fresh.comm_graph());
+        assert_eq!(net.max_range(), fresh.max_range());
+        net.set_power(0, p.power);
+        net.set_power(1, p.power);
+        assert!(net.has_uniform_power(), "restored to the model power");
+        assert!(!net.comm_graph().has_edge(0, 1));
+    }
+
+    #[test]
+    fn bad_powers_are_rejected() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let err = Network::builder(pts.clone())
+            .powers(vec![1.0])
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetworkError::PowerLengthMismatch {
+                points: 2,
+                powers: 1
+            }
+        );
+        let err = Network::builder(pts).powers(vec![1.0, -0.5]).build();
+        assert!(matches!(err, Err(NetworkError::BadPower { node: 1, .. })));
     }
 
     #[test]

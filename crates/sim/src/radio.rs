@@ -14,6 +14,18 @@
 //! experiment binary, so it sits behind the [`SinrResolver`] trait with
 //! three interchangeable backends ([`ResolverKind`]):
 //!
+//! **Heterogeneous power.** Nodes may transmit at per-node powers
+//! ([`Network::powers`](crate::Network::powers)); signals are then
+//! `P_w / d^α` via [`Network::signal_from`](crate::Network::signal_from).
+//! The geometric backends keep their exactness: any decodable transmitter
+//! must satisfy `P_w/d^α ≥ β·noise`, i.e. lie within
+//! [`Network::max_range`](crate::Network::max_range) of the receiver, so
+//! the candidate search stays a bounded disk query — but the decodable
+//! transmitter is the *strongest-signal* one, which under heterogeneous
+//! power need not be the nearest, so the candidate is found by a
+//! strongest-two scan instead of the nearest-two distance query (the
+//! uniform-power fast path is untouched).
+//!
 //! * [`NaiveResolver`] — the oracle. Evaluates Eq. (1) literally in
 //!   `O(n·|T|)`; every other backend must match it **exactly**.
 //! * [`GridResolver`] — grid short-circuit. Two exact facts cut the work:
@@ -84,6 +96,22 @@ impl ResolverKind {
             ResolverKind::Grid => "grid",
             ResolverKind::Aggregated => "aggregated",
         }
+    }
+
+    /// The backend named by the `DCLUSTER_RESOLVER` environment variable,
+    /// if set. A typo aborts with the parse error rather than silently
+    /// falling back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is set to an unknown backend name.
+    pub fn from_env() -> Option<ResolverKind> {
+        std::env::var("DCLUSTER_RESOLVER")
+            .ok()
+            .map(|v| match v.parse() {
+                Ok(kind) => kind,
+                Err(e) => panic!("DCLUSTER_RESOLVER: {e}"),
+            })
     }
 
     /// Instantiates the backend.
@@ -164,6 +192,54 @@ pub trait SinrResolver: fmt::Debug {
     fn stats(&self) -> ResolverStats;
 }
 
+/// Candidate sender at receiver position `u`: the strongest and
+/// second-strongest received signals over the transmitters stored in
+/// `grid`, scanning the disk of radius `r` (the network's
+/// [`max_range`](Network::max_range), which contains every decodable
+/// transmitter). Returns `(sender, s1, s2)` with `s2 = 0.0` when a single
+/// candidate is in range. Ties keep the first-scanned transmitter — the
+/// scan order is deterministic, and tied top signals can never be decoded
+/// anyway (`β > 1`).
+fn two_strongest_within(net: &Network, grid: &Grid, u: crate::Point, r: f64) -> CandidateSignals {
+    let mut best: Option<(usize, f64)> = None;
+    let mut second = 0.0f64;
+    for w in grid.within(net.points(), u, r) {
+        let s = net.signal_from(w, net.pos(w).dist(u));
+        match best {
+            None => best = Some((w, s)),
+            Some((_, bs)) if s > bs => {
+                second = bs;
+                best = Some((w, s));
+            }
+            Some(_) => second = second.max(s),
+        }
+    }
+    best.map(|(w, s1)| (w, s1, second))
+}
+
+/// `(sender, strongest signal, second-strongest signal)` or `None` when no
+/// transmitter is in range.
+type CandidateSignals = Option<(usize, f64, f64)>;
+
+/// Shared candidate search of the geometric backends: nearest-two distance
+/// query under uniform power (bit-identical to the classic path),
+/// strongest-two signal scan under heterogeneous power.
+fn candidate_signals(net: &Network, tx_grid: &Grid, u: usize) -> CandidateSignals {
+    let r = net.max_range();
+    if net.has_uniform_power() {
+        let p = net.params();
+        let tn = tx_grid.two_nearest_within(net.points(), net.pos(u), r, None)?;
+        let s2 = if tn.d2.is_finite() {
+            p.signal(tn.d2)
+        } else {
+            0.0
+        };
+        Some((tn.nearest, p.signal(tn.d1), s2))
+    } else {
+        two_strongest_within(net, tx_grid, net.pos(u), r)
+    }
+}
+
 /// Marks `transmitters` in the reusable `is_tx`/`slot_of` scratch vectors.
 fn mark_transmitters(
     n: usize,
@@ -219,11 +295,11 @@ impl SinrResolver for NaiveResolver {
             self.stats.exact_sums += 1;
             let total: f64 = transmitters
                 .iter()
-                .map(|&w| p.signal(net.pos(w).dist(net.pos(u))))
+                .map(|&w| net.signal_from(w, net.pos(w).dist(net.pos(u))))
                 .sum();
             let mut decoded: Option<(usize, usize)> = None;
             for (slot, &v) in transmitters.iter().enumerate() {
-                let s = p.signal(net.pos(v).dist(net.pos(u)));
+                let s = net.signal_from(v, net.pos(v).dist(net.pos(u)));
                 if s >= p.beta * (p.noise + (total - s)) {
                     debug_assert!(decoded.is_none(), "beta > 1 forbids two decodable senders");
                     decoded = Some((v, slot));
@@ -275,21 +351,17 @@ impl SinrResolver for GridResolver {
         }
         let n = net.len();
         let p = net.params();
-        let range = p.range();
         mark_transmitters(n, transmitters, &mut self.is_tx, &mut self.slot_of);
-        let tx_grid = Grid::build_subset(net.points(), transmitters, range);
+        let tx_grid = Grid::build_subset(net.points(), transmitters, p.range());
         for u in 0..n {
             if self.is_tx[u] {
                 continue; // half-duplex: transmitters do not receive
             }
-            let Some(tn) = tx_grid.two_nearest_within(net.points(), net.pos(u), range, None) else {
+            let Some((v, s1, i_low)) = candidate_signals(net, &tx_grid, u) else {
                 continue;
             };
             self.stats.candidates += 1;
-            let (v, d1, d2) = (tn.nearest, tn.d1, tn.d2);
-            let s1 = p.signal(d1);
-            // Short-circuit: interference ≥ signal(d2) (d2 may be ∞ ⇒ 0).
-            let i_low = if d2.is_finite() { p.signal(d2) } else { 0.0 };
+            // Short-circuit: interference ≥ the second-strongest signal.
             if s1 < p.beta * (p.noise + i_low) {
                 self.stats.short_circuited += 1;
                 continue;
@@ -298,7 +370,7 @@ impl SinrResolver for GridResolver {
             self.stats.exact_sums += 1;
             let mut interference = -s1; // subtract sender's own signal below
             for &w in transmitters {
-                interference += p.signal(net.pos(w).dist(net.pos(u)));
+                interference += net.signal_from(w, net.pos(w).dist(net.pos(u)));
             }
             if s1 >= p.beta * (p.noise + interference) {
                 out.push(Reception {
@@ -346,28 +418,22 @@ impl SinrResolver for AggregatedResolver {
         }
         let n = net.len();
         let p = net.params();
-        let range = p.range();
         mark_transmitters(n, transmitters, &mut self.is_tx, &mut self.slot_of);
-        let mut field = InterferenceField::build(net.points(), transmitters, range);
+        let mut field =
+            InterferenceField::build(net.points(), net.powers(), transmitters, p.range());
         for u in 0..n {
             if self.is_tx[u] {
                 continue; // half-duplex
             }
-            let Some(tn) = field
-                .grid()
-                .two_nearest_within(net.points(), net.pos(u), range, None)
-            else {
+            let Some((v, s1, i_low)) = candidate_signals(net, field.grid(), u) else {
                 continue;
             };
             self.stats.candidates += 1;
-            let (v, d1, d2) = (tn.nearest, tn.d1, tn.d2);
-            let s1 = p.signal(d1);
-            let i_low = if d2.is_finite() { p.signal(d2) } else { 0.0 };
             if s1 < p.beta * (p.noise + i_low) {
                 self.stats.short_circuited += 1;
                 continue;
             }
-            if field.decide(net.points(), p, net.pos(u), v, s1) {
+            if field.decide(net.points(), net.powers(), p, net.pos(u), v, s1) {
                 out.push(Reception {
                     receiver: u,
                     sender: v,
@@ -397,13 +463,12 @@ pub fn resolve_naive(net: &Network, transmitters: &[usize]) -> Vec<Reception> {
 /// the extension experiments (the paper's conclusion names carrier sensing
 /// as an open direction).
 pub fn sensed_power(net: &Network, transmitters: &[usize]) -> Vec<f64> {
-    let p = net.params();
     (0..net.len())
         .map(|u| {
             transmitters
                 .iter()
                 .filter(|&&w| w != u)
-                .map(|&w| p.signal(net.pos(w).dist(net.pos(u))))
+                .map(|&w| net.signal_from(w, net.pos(w).dist(net.pos(u))))
                 .sum()
         })
         .collect()
@@ -414,11 +479,11 @@ pub fn sensed_power(net: &Network, transmitters: &[usize]) -> Vec<f64> {
 pub fn sinr(net: &Network, v: usize, u: usize, transmitters: &[usize]) -> f64 {
     let p = net.params();
     debug_assert!(transmitters.contains(&v));
-    let s = p.signal(net.pos(v).dist(net.pos(u)));
+    let s = net.signal_from(v, net.pos(v).dist(net.pos(u)));
     let interference: f64 = transmitters
         .iter()
         .filter(|&&w| w != v)
-        .map(|&w| p.signal(net.pos(w).dist(net.pos(u))))
+        .map(|&w| net.signal_from(w, net.pos(w).dist(net.pos(u))))
         .sum();
     s / (p.noise + interference)
 }
@@ -557,6 +622,62 @@ mod tests {
                     "trial {trial}: {kind} and naive resolvers disagree"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn all_backends_match_naive_under_heterogeneous_power() {
+        let mut rng = Rng64::new(4040);
+        for trial in 0..25 {
+            let n = 15 + trial * 9;
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.range_f64(0.0, 4.0), rng.range_f64(0.0, 4.0)))
+                .collect();
+            let base = SinrParams::default().power;
+            // Power spread of up to 8x: ranges up to 2 under alpha = 3.
+            let powers: Vec<f64> = (0..n)
+                .map(|_| base * (1.0 + 7.0 * rng.next_f64()))
+                .collect();
+            let net = Network::builder(pts).powers(powers).build().unwrap();
+            assert!(!net.has_uniform_power());
+            let tx: Vec<usize> = (0..n).filter(|_| rng.chance(0.25)).collect();
+            let mut naive = resolve_naive(&net, &tx);
+            naive.sort_by_key(|r| r.receiver);
+            for kind in [ResolverKind::Grid, ResolverKind::Aggregated] {
+                let mut got = kind.build().resolve(&net, &tx);
+                got.sort_by_key(|r| r.receiver);
+                assert_eq!(
+                    got, naive,
+                    "trial {trial}: {kind} disagrees with naive under heterogeneous power"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strong_far_transmitter_beats_a_nearer_weak_one() {
+        // Receiver at x=1.0; weak transmitter at 0.8 (d=0.2), strong one at
+        // 2.0 (d=1.0) with 64x the power: the strong one's signal wins
+        // 128/1 vs 2/0.008 = 250 — nearest still wins here, so instead make
+        // the strong one the decodable sender by silencing geometry:
+        // weak at d=0.9 → signal 2/0.729 ≈ 2.74; strong at d=1.0 → 128.
+        let p = SinrParams::default();
+        let net = Network::builder(vec![
+            Point::new(0.1, 0.0), // weak tx, d = 0.9
+            Point::new(2.0, 0.0), // strong tx, d = 1.0
+            Point::new(1.0, 0.0), // receiver
+        ])
+        .powers(vec![p.power, 64.0 * p.power, p.power])
+        .params(p)
+        .build()
+        .unwrap();
+        // Strongest ≠ nearest: the grid fast path would pick node 0 and
+        // reject; the strongest-signal path must decode node 1.
+        let naive = resolve_naive(&net, &[0, 1]);
+        assert_eq!(naive.len(), 1);
+        assert_eq!(naive[0].sender, 1, "the high-power transmitter decodes");
+        for r in &mut backends() {
+            assert_eq!(r.resolve(&net, &[0, 1]), naive, "backend {}", r.kind());
         }
     }
 

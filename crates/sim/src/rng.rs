@@ -36,6 +36,17 @@ pub fn hash64(seed: u64, words: &[u64]) -> u64 {
     acc
 }
 
+/// Stateless Bernoulli trial: true with probability `p`, decided by
+/// hashing `seed` and `words`. The dynamics subsystem's churn schedules
+/// are *defined* through this — "node `v` crashes in epoch `e` iff
+/// `hash_chance(seed, &[e, v], p)`" — so every component (and every
+/// re-run) sees the same deterministic event stream without materializing
+/// it.
+#[inline]
+pub fn hash_chance(seed: u64, words: &[u64], p: f64) -> bool {
+    ((hash64(seed, words) >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+}
+
 /// A small deterministic PRNG (SplitMix64 stream).
 ///
 /// ```
@@ -236,6 +247,23 @@ mod tests {
         let var = sum2 / n as f64 - mean * mean;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn hash_chance_hits_its_probability() {
+        let mut hits = 0usize;
+        for e in 0..1000u64 {
+            for v in 0..100u64 {
+                if hash_chance(42, &[e, v], 0.1) {
+                    hits += 1;
+                }
+            }
+        }
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate} far from 0.1");
+        assert!(!hash_chance(1, &[2, 3], 0.0));
+        assert!(hash_chance(1, &[2, 3], 1.0));
+        assert_eq!(hash_chance(1, &[2, 3], 0.5), hash_chance(1, &[2, 3], 0.5));
     }
 
     #[test]

@@ -21,7 +21,7 @@ fn main() {
 
     let params = ProtocolParams::practical();
     let mut seeds = SeedSeq::new(params.seed);
-    let mut engine = Engine::new(&net);
+    let mut engine = Engine::from_env(&net);
     // Source: the left-most node.
     let source = (0..net.len())
         .min_by(|&a, &b| net.pos(a).x.partial_cmp(&net.pos(b).x).unwrap())

@@ -26,7 +26,7 @@ fn main() {
     // Theorem 4: three scattered nodes activate spontaneously.
     let params = ProtocolParams::practical();
     let mut seeds = SeedSeq::new(params.seed);
-    let mut engine = Engine::new(&net);
+    let mut engine = Engine::from_env(&net);
     let spontaneous = vec![0, net.len() / 2, net.len() - 1];
     let w = wakeup(
         &mut engine,
@@ -45,7 +45,7 @@ fn main() {
 
     // Theorem 5: leader election over the whole network.
     let mut seeds2 = SeedSeq::new(params.seed);
-    let mut engine2 = Engine::new(&net);
+    let mut engine2 = Engine::from_env(&net);
     let le = leader_election(&mut engine2, &params, &mut seeds2, net.density());
     println!(
         "leader election: id {} elected in {} rounds ({} binary-search probes)",

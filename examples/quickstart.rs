@@ -23,7 +23,9 @@ fn main() {
     // Theorem 1: deterministic 1-clustering, no randomness, no GPS.
     let params = ProtocolParams::practical();
     let mut seeds = SeedSeq::new(params.seed);
-    let mut engine = Engine::new(&net);
+    // Scale-aware default backend, overridable via DCLUSTER_RESOLVER —
+    // the same selection path the bench binaries use.
+    let mut engine = Engine::from_env(&net);
     let all: Vec<usize> = (0..net.len()).collect();
     let cl = clustering(&mut engine, &params, &mut seeds, &all, net.density());
 

@@ -30,7 +30,7 @@ fn main() {
     // This work: deterministic local broadcast (Theorem 2).
     let params = ProtocolParams::practical();
     let mut seeds = SeedSeq::new(params.seed);
-    let mut engine = Engine::new(&net);
+    let mut engine = Engine::from_env(&net);
     let ours = local_broadcast(&mut engine, &params, &mut seeds, net.density());
     println!(
         "\nTHIS WORK  : {} rounds, complete = {}, labels ≤ {}, clusters = {}",

@@ -14,6 +14,8 @@
 //! * [`sim`] — SINR physical layer, synchronous engine, deployments.
 //! * [`selectors`] — ssf / wss / wcss / cover-free families.
 //! * [`core`] — the paper's algorithms (clustering, broadcasts, …).
+//! * [`dynamics`] — mobility, churn and heterogeneous power: seeded
+//!   scenario engine with incremental world updates.
 //! * [`baselines`] — Tables 1–2 competitor algorithms.
 //! * [`lowerbound`] — Theorem 6 gadgets and the Lemma 13 adversary.
 //!
@@ -46,6 +48,7 @@
 
 pub use dcluster_baselines as baselines;
 pub use dcluster_core as core;
+pub use dcluster_dynamics as dynamics;
 pub use dcluster_lowerbound as lowerbound;
 pub use dcluster_selectors as selectors;
 pub use dcluster_sim as sim;
@@ -60,6 +63,7 @@ pub mod prelude {
     pub use dcluster_core::local_broadcast::local_broadcast;
     pub use dcluster_core::wakeup::wakeup;
     pub use dcluster_core::{Msg, ProtocolParams, SeedSeq, Stack, UnitTrace};
+    pub use dcluster_dynamics::{Churn, DynamicsModel, MobilityKind, World, WorldUpdate};
     pub use dcluster_sim::rng::Rng64;
     pub use dcluster_sim::{
         deploy, Engine, Network, Point, ResolverKind, SinrParams, SinrResolver,
