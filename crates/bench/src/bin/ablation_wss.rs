@@ -5,18 +5,24 @@
 //! With a plain ssf a node may never observe a round that discredits a far
 //! candidate, so candidate sets overflow κ and get purged — losing close
 //! pairs. The wss's witnessed selections guarantee the evidence arrives.
+//!
+//! The schedule-length sweep is a grid of scenario specs with overridden
+//! `params len_factor=…` lines; `--scenario <file>.scn` ablates that one
+//! spec instead (its `params` line sets the budget).
 
-use dcluster_bench::{engine as make_engine, print_table, write_csv};
+use dcluster_bench::{
+    print_table, resolver_override, scenario_override, write_csv, Runner, ScenarioSpec,
+};
 use dcluster_core::proximity::build_proximity_graph;
 use dcluster_core::run::{ReplayUnit, SchedHandle, SeedSeq};
 use dcluster_core::{Msg, ProtocolParams};
 use dcluster_selectors::ssf::RandomSsf;
 use dcluster_sim::metrics::close_pairs;
-use dcluster_sim::{deploy, rng::Rng64, Network};
+use dcluster_sim::Network;
 
 /// Plain-ssf variant of Alg. 1 (exchange + filter only, no witness
 /// property): returns (candidate overflow purges, close pairs covered).
-fn ssf_variant(net: &Network, params: &ProtocolParams, pairs_total: usize) -> (usize, usize) {
+fn ssf_variant(runner: &Runner, net: &Network, params: &ProtocolParams) -> (usize, usize) {
     let ssf = RandomSsf::with_len(
         0xAB1A7E,
         params.kappa,
@@ -24,7 +30,7 @@ fn ssf_variant(net: &Network, params: &ProtocolParams, pairs_total: usize) -> (u
     );
     let nodes: Vec<usize> = (0..net.len()).collect();
     let unit = ReplayUnit::snapshot(net, SchedHandle::Ssf(ssf), &nodes, &vec![0; net.len()]);
-    let mut engine = make_engine(net);
+    let mut engine = runner.engine(net);
     let mut heard: Vec<Vec<(u64, usize)>> = vec![Vec::new(); net.len()];
     unit.run(
         &mut engine,
@@ -60,55 +66,65 @@ fn ssf_variant(net: &Network, params: &ProtocolParams, pairs_total: usize) -> (u
         .iter()
         .filter(|cp| adj[cp.u].contains(&cp.w) && adj[cp.w].contains(&cp.u))
         .count();
-    let _ = pairs_total;
     (purges, covered)
 }
 
 fn main() {
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    // Sweep the schedule-length budget downwards: the witnessed property
-    // degrades gracefully (filtering evidence is *guaranteed* to arrive
-    // within the schedule), while plain ssf filtering starves.
-    for &factor in &[0.02f64, 0.004, 0.001] {
-        for (i, &n) in [80usize, 140].iter().enumerate() {
-            let params = ProtocolParams {
-                len_factor: factor,
-                min_sched_len: 16,
-                ..ProtocolParams::practical()
-            };
-            let mut rng = Rng64::new(60 + i as u64);
-            let net = Network::builder(deploy::uniform_square(n, 2.0, &mut rng))
-                .build()
-                .expect("nonempty");
-            let pairs = close_pairs(net.points(), None, net.density(), 1.0, net.params().epsilon);
-
-            // wss (the paper's construction).
-            let mut seeds = SeedSeq::new(params.seed);
-            let mut engine = make_engine(&net);
-            let members: Vec<usize> = (0..net.len()).collect();
-            let p = build_proximity_graph(
-                &mut engine,
-                &params,
-                &mut seeds,
-                &members,
-                &vec![0; net.len()],
-                false,
-            );
-            let wss_cov = pairs.iter().filter(|cp| p.has_edge(cp.u, cp.w)).count();
-
-            // plain ssf.
-            let (purges, ssf_cov) = ssf_variant(&net, &params, pairs.len());
-
-            rows.push(vec![
-                format!("{factor}"),
-                n.to_string(),
-                net.density().to_string(),
-                pairs.len().to_string(),
-                format!("{wss_cov}/{}", pairs.len()),
-                format!("{ssf_cov}/{}", pairs.len()),
-                purges.to_string(),
-            ]);
+    let mut specs: Vec<ScenarioSpec> = Vec::new();
+    if let Some(spec) = scenario_override() {
+        specs.push(spec);
+    } else {
+        // Sweep the schedule-length budget downwards: the witnessed
+        // property degrades gracefully (filtering evidence is *guaranteed*
+        // to arrive within the schedule), while plain ssf filtering
+        // starves.
+        for &factor in &[0.02f64, 0.004, 0.001] {
+            for (i, &n) in [80usize, 140].iter().enumerate() {
+                let params = ProtocolParams {
+                    len_factor: factor,
+                    min_sched_len: 16,
+                    ..ProtocolParams::practical()
+                };
+                specs.push(
+                    ScenarioSpec::uniform(format!("ablate-f{factor}-n{n}"), 60 + i as u64, n, 2.0)
+                        .params(params),
+                );
+            }
         }
+    }
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for spec in specs {
+        let params = spec.params;
+        let runner = Runner::new(spec).with_resolver_override(resolver_override());
+        let net = runner.build_network();
+        let pairs = close_pairs(net.points(), None, net.density(), 1.0, net.params().epsilon);
+
+        // wss (the paper's construction).
+        let mut seeds = SeedSeq::new(params.seed);
+        let mut engine = runner.engine(&net);
+        let members: Vec<usize> = (0..net.len()).collect();
+        let p = build_proximity_graph(
+            &mut engine,
+            &params,
+            &mut seeds,
+            &members,
+            &vec![0; net.len()],
+            false,
+        );
+        let wss_cov = pairs.iter().filter(|cp| p.has_edge(cp.u, cp.w)).count();
+
+        // plain ssf.
+        let (purges, ssf_cov) = ssf_variant(&runner, &net, &params);
+
+        rows.push(vec![
+            format!("{}", params.len_factor),
+            net.len().to_string(),
+            net.density().to_string(),
+            pairs.len().to_string(),
+            format!("{wss_cov}/{}", pairs.len()),
+            format!("{ssf_cov}/{}", pairs.len()),
+            purges.to_string(),
+        ]);
     }
     print_table(
         "Ablation — witnessed (wss) vs plain ssf in Algorithm 1",

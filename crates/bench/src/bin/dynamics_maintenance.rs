@@ -3,13 +3,14 @@
 //!
 //! Two parts:
 //!
-//! 1. **Maintenance sweep** (protocol scale): a seeded world evolves under
-//!    the selected mobility/churn/power scenario; each epoch the
-//!    `MaintenanceDriver` re-runs Theorem 1 clustering over the awake set
-//!    and records cluster lifetimes, re-elections and coverage violations.
-//!    Every resolver backend drives the identical scenario and must
-//!    produce **identical** epoch reports; the primary backend's scenario
-//!    is run twice and must be **byte-identical** across runs.
+//! 1. **Maintenance sweep** (protocol scale): a seeded scenario spec
+//!    (degree deployment + the selected mobility/churn/power dynamics)
+//!    runs through the unified Runner's maintenance workload; each epoch
+//!    the `MaintenanceDriver` re-runs Theorem 1 clustering over the awake
+//!    set and records cluster lifetimes, re-elections and coverage
+//!    violations. Every resolver backend drives the identical scenario
+//!    and must produce **identical** epoch reports; the primary backend's
+//!    scenario is run twice and must be **byte-identical** across runs.
 //! 2. **Incremental-vs-rebuild sweep** (10⁴–10⁵ nodes): a waypoint
 //!    mobility workload where `k ≪ n` nodes move per epoch, comparing the
 //!    wall clock of incremental world maintenance (`O(k·Δ)`) against
@@ -22,7 +23,8 @@
 //! `het`), `--resolver naive|grid|aggregated` — the *primary* backend
 //! whose run is recorded and rerun for the determinism check (default
 //! `aggregated`; the other backends always run too, for the agreement
-//! gate).
+//! gate) — or `--scenario <file>.scn` to run one committed spec through
+//! the maintenance workload instead.
 //! Tiers via `DCLUSTER_SCALE=ci|quick|full`; the `ci` tier exits non-zero
 //! on any agreement/determinism/audit/coverage failure or if incremental
 //! maintenance is slower than rebuilding.
@@ -30,12 +32,13 @@
 //! Output: markdown tables, `results/dynamics_maintenance.csv`,
 //! `BENCH_dynamics.json`.
 
-use dcluster_bench::{flag_value, print_table, resolver_override, scale, write_csv, Scale};
-use dcluster_core::maintenance::{EpochReport, MaintenanceDriver};
-use dcluster_core::params::ProtocolParams;
-use dcluster_core::run::SeedSeq;
-use dcluster_dynamics::{with_power_profile, Churn, DynamicsModel, MobilityKind, World};
-use dcluster_sim::{deploy, rng::Rng64, InterferenceField, Network, ResolverKind};
+use dcluster_bench::{
+    epoch_row, flag_value, print_table, resolver_override, run_scenario_flag, scale, write_csv,
+    DynamicsSpec, Runner, Scale, ScenarioSpec, Workload, WorkloadOutcome, EPOCH_HEADERS,
+};
+use dcluster_core::maintenance::EpochReport;
+use dcluster_dynamics::{MobilityKind, World, WorldUpdate};
+use dcluster_sim::{InterferenceField, ResolverKind};
 use std::time::Instant;
 
 /// Fraction of nodes that are mobile in the maintenance sweep.
@@ -79,52 +82,55 @@ fn scenario_from_flags() -> Scenario {
     }
 }
 
-fn bounding_box(net: &Network) -> (f64, f64) {
-    let mut w = 0.0f64;
-    let mut h = 0.0f64;
-    for p in net.points() {
-        w = w.max(p.x);
-        h = h.max(p.y);
-    }
-    (w.max(1.0), h.max(1.0))
-}
-
-fn models_for(sc: Scenario, n: usize, bounds: (f64, f64)) -> Vec<Box<dyn DynamicsModel>> {
-    let mut models: Vec<Box<dyn DynamicsModel>> = Vec::new();
-    if let Some(m) = sc.mobility.build(n, bounds, MOBILE_FRAC, SEED ^ 1) {
-        models.push(m);
-    }
+/// The flag combination as a declarative spec: degree deployment seeded
+/// with the historical master seed, dynamics with the historical
+/// sub-seed derivations (mobility `seed^1`, churn `seed^2`, power
+/// `seed^3` — the Runner's convention), default speeds matching
+/// `MobilityKind::build`.
+fn spec_for(sc: Scenario, n: usize, epochs: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::degree("dynamics-maintenance", SEED, n, 8)
+        .epochs(epochs)
+        .workload(Workload::Maintenance);
+    spec = match sc.mobility {
+        MobilityKind::None => spec,
+        MobilityKind::Waypoint => spec.dynamics(DynamicsSpec::Waypoint {
+            speed: 0.25,
+            frac: MOBILE_FRAC,
+        }),
+        MobilityKind::Walk => spec.dynamics(DynamicsSpec::Walk {
+            step: 0.2,
+            frac: MOBILE_FRAC,
+        }),
+        MobilityKind::Group => spec.dynamics(DynamicsSpec::Group {
+            speed: 0.2,
+            frac: MOBILE_FRAC,
+            groups: 4,
+        }),
+    };
     if sc.churn {
-        models.push(Box::new(Churn::new(SEED ^ 2, P_SLEEP, P_WAKE)));
+        spec = spec.dynamics(DynamicsSpec::Churn {
+            sleep: P_SLEEP,
+            wake: P_WAKE,
+        });
     }
-    models
+    if sc.het_power {
+        spec = spec.dynamics(DynamicsSpec::HetPower {
+            spread: POWER_SPREAD,
+        });
+    }
+    spec
 }
 
 /// Runs the full maintenance scenario with one resolver backend; returns
 /// the per-epoch reports (the deterministic fingerprint of the run).
-fn run_scenario(sc: Scenario, n: usize, epochs: u64, kind: ResolverKind) -> Vec<EpochReport> {
-    let base = dcluster_bench::connected_deployment(n, 8, SEED);
-    let net = if sc.het_power {
-        with_power_profile(&base, POWER_SPREAD, SEED ^ 3)
-    } else {
-        base
+fn run_scenario(spec: &ScenarioSpec, kind: ResolverKind) -> Vec<EpochReport> {
+    let report = Runner::new(spec.clone())
+        .with_resolver_override(Some(kind))
+        .run(&Workload::Maintenance);
+    let WorkloadOutcome::Maintenance { epochs, .. } = report.outcome else {
+        unreachable!("maintenance workload returns a maintenance outcome");
     };
-    let bounds = bounding_box(&net);
-    let mut world = World::new(net);
-    let mut models = models_for(sc, n, bounds);
-    let params = ProtocolParams::practical();
-    let mut driver = MaintenanceDriver::new(params);
-    let mut seeds = SeedSeq::new(params.seed);
-    let mut reports = Vec::new();
-    for _ in 0..epochs {
-        world.step(&mut models);
-        world
-            .audit_incremental()
-            .expect("incremental world maintenance must equal a rebuild");
-        let awake = world.awake_nodes();
-        reports.push(driver.epoch(world.network(), kind, &mut seeds, &awake));
-    }
-    reports
+    epochs
 }
 
 struct ScalingRow {
@@ -141,11 +147,14 @@ struct ScalingRow {
 fn scaling_sweep(ns: &[usize], epochs: u64) -> Vec<ScalingRow> {
     let mut rows = Vec::new();
     for &n in ns {
-        let mut rng = Rng64::new(SEED + n as u64);
         let side = (n as f64 / 40.0).sqrt() * 2.0; // ≈40 nodes per unit ball
-        let net = Network::builder(deploy::uniform_square(n, side, &mut rng))
-            .build()
-            .expect("nonempty deployment");
+        let net = Runner::new(ScenarioSpec::uniform(
+            "dynamics-scaling",
+            SEED + n as u64,
+            n,
+            side,
+        ))
+        .build_network();
         let mut world = World::new(net);
         // 1% movers: the sparse regime incremental maintenance targets.
         let mut model = MobilityKind::Waypoint
@@ -174,7 +183,7 @@ fn scaling_sweep(ns: &[usize], epochs: u64) -> Vec<ScalingRow> {
             // Maintain the persistent field for the transmitters that move
             // (positions read before the world applies the batch).
             for u in &updates {
-                let dcluster_dynamics::WorldUpdate::Move { node, to } = *u else {
+                let WorldUpdate::Move { node, to } = *u else {
                     continue;
                 };
                 if !in_tx[node] {
@@ -222,6 +231,9 @@ fn scaling_sweep(ns: &[usize], epochs: u64) -> Vec<ScalingRow> {
 }
 
 fn main() {
+    if run_scenario_flag(Workload::Maintenance) {
+        return;
+    }
     let tier = scale();
     let sc = scenario_from_flags();
     let primary = resolver_override().unwrap_or(ResolverKind::Aggregated);
@@ -241,11 +253,12 @@ fn main() {
         if sc.churn { "on" } else { "off" },
         if sc.het_power { "het" } else { "uniform" },
     );
+    let spec = spec_for(sc, n, epochs);
 
     // ---- Part 1: maintenance sweep, all backends + determinism check.
     let mut failures = 0u32;
-    let reference = run_scenario(sc, n, epochs, primary);
-    let rerun = run_scenario(sc, n, epochs, primary);
+    let reference = run_scenario(&spec, primary);
+    let rerun = run_scenario(&spec, primary);
     if reference != rerun {
         eprintln!("FAIL: repeated {primary} runs are not byte-identical");
         failures += 1;
@@ -254,7 +267,7 @@ fn main() {
         if kind == primary {
             continue;
         }
-        let got = run_scenario(sc, n, epochs, kind);
+        let got = run_scenario(&spec, kind);
         for (a, b) in reference.iter().zip(&got) {
             // The resolver field differs by construction; everything else
             // (clusters, lifetimes, violations, rounds) must be identical.
@@ -283,39 +296,13 @@ fn main() {
         .map(|r| r.report.max_radius)
         .fold(0.0f64, f64::max);
 
-    let maint_headers = [
-        "epoch",
-        "awake",
-        "clusters",
-        "re_elections",
-        "retained",
-        "violations",
-        "max_radius",
-        "clusters_per_ball",
-        "rounds",
-    ];
-    let maint_table: Vec<Vec<String>> = reference
-        .iter()
-        .map(|r| {
-            vec![
-                r.epoch.to_string(),
-                r.awake.to_string(),
-                r.clusters.to_string(),
-                r.re_elections.to_string(),
-                r.retained.to_string(),
-                r.coverage_violations.to_string(),
-                format!("{:.3}", r.report.max_radius),
-                r.report.max_clusters_per_unit_ball.to_string(),
-                r.rounds.to_string(),
-            ]
-        })
-        .collect();
+    let maint_table: Vec<Vec<String>> = reference.iter().map(epoch_row).collect();
     print_table(
         &format!("Maintenance sweep (n = {n}, {epochs} epochs, resolver {primary})"),
-        &maint_headers,
+        &EPOCH_HEADERS,
         &maint_table,
     );
-    write_csv("dynamics_maintenance", &maint_headers, &maint_table);
+    write_csv("dynamics_maintenance", &EPOCH_HEADERS, &maint_table);
 
     // ---- Part 2: incremental vs rebuild scaling.
     let scaling = scaling_sweep(scaling_ns, 5);

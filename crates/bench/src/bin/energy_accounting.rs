@@ -3,31 +3,39 @@
 //! computationally limited devices run on batteries").
 //!
 //! Compares total transmissions and transmissions per node for local
-//! broadcast: this work vs the randomized and feedback baselines.
+//! broadcast: this work vs the randomized and feedback baselines, on the
+//! same scenario-spec deployments. `--scenario <file>.scn` runs one spec
+//! through the local workload instead.
 
 use dcluster_baselines::local::{self, FeedbackPreset};
-use dcluster_bench::{connected_deployment, engine as make_engine, print_table, write_csv};
-use dcluster_core::{local_broadcast, ProtocolParams, SeedSeq};
+use dcluster_bench::{
+    print_table, resolver_override, run_scenario_flag, write_csv, Runner, ScenarioSpec, Workload,
+    WorkloadOutcome,
+};
 
 fn main() {
+    if run_scenario_flag(Workload::LocalBroadcast) {
+        return;
+    }
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (i, &delta) in [6usize, 12].iter().enumerate() {
-        let net = connected_deployment(70, delta, 650 + i as u64);
+        let spec = ScenarioSpec::degree(format!("energy-d{delta}"), 650 + i as u64, 70, delta);
+        let runner = Runner::new(spec).with_resolver_override(resolver_override());
+        let net = runner.build_network();
         let d_real = net.max_degree().max(1);
         let cap = 3_000_000;
 
-        let params = ProtocolParams::practical();
-        let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = make_engine(&net);
-        let ours = local_broadcast(&mut engine, &params, &mut seeds, net.density());
-        assert!(ours.complete);
-        let ours_tx = engine.stats().transmissions;
+        let ours = runner.run_on(net.clone(), &Workload::LocalBroadcast);
+        let WorkloadOutcome::LocalBroadcast { complete, .. } = ours.outcome else {
+            unreachable!("local workload returns a local outcome");
+        };
+        assert!(complete);
 
         let gmw = local::gmw_known_delta(&net, d_real, 7, cap);
         let fb = local::feedback(&net, d_real, FeedbackPreset::HalldorssonMitra, 7, cap);
 
         for (name, rounds, tx) in [
-            ("THIS WORK (deterministic)", ours.rounds, ours_tx),
+            ("THIS WORK (deterministic)", ours.rounds, ours.transmissions),
             ("[16] randomized", gmw.rounds, gmw.transmissions),
             ("[19] feedback", fb.rounds, fb.transmissions),
         ] {

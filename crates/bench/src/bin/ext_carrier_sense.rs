@@ -6,18 +6,28 @@
 //! busy/idle oracle crosses corridors in `D·poly(Δ)` rounds with *small*
 //! constants, escaping the Theorem 6 Ω(D·Δ^{1−1/α}) regime that binds the
 //! pure model, and landing in the same league as randomized decay.
+//!
+//! Deployments come from scenario specs; `--scenario <file>.scn` runs the
+//! three baselines on that spec's deployment instead.
 
 use dcluster_baselines::global;
-use dcluster_bench::{print_table, write_csv};
-use dcluster_sim::{deploy, rng::Rng64, Network};
+use dcluster_bench::{print_table, scenario_override, write_csv, Runner, ScenarioSpec};
 
 fn main() {
+    let specs: Vec<ScenarioSpec> = match scenario_override() {
+        Some(spec) => vec![spec],
+        None => [5.0f64, 10.0, 15.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let n = (len * 5.0) as usize;
+                ScenarioSpec::corridor(format!("ext-len{len}"), 910 + i as u64, n, len, 1.2, 0.5)
+            })
+            .collect(),
+    };
     let mut rows: Vec<Vec<String>> = Vec::new();
-    for (i, &len) in [5.0f64, 10.0, 15.0].iter().enumerate() {
-        let mut rng = Rng64::new(910 + i as u64);
-        let n = (len * 5.0) as usize;
-        let pts = deploy::corridor_with_spine(n, len, 1.2, 0.5, &mut rng);
-        let net = Network::builder(pts).build().expect("nonempty");
+    for spec in specs {
+        let net = Runner::new(spec).build_network();
         let d = net.comm_graph().diameter().unwrap_or(0);
         let delta = net.max_degree().max(2);
         let cap = 5_000_000;

@@ -2,32 +2,64 @@
 //! grow hop by hop; every layer ends 1-clustered.
 //!
 //! Prints the per-phase trace (newly awake, clusters, stage rounds) on a
-//! hotspot network like the figure's.
+//! hotspot network like the figure's — a layered scenario spec (one
+//! Gaussian clump over a spined corridor, sharing the deployment RNG).
+//! Pass `--scenario <file>.scn` to trace a different workload.
 
-use dcluster_bench::{engine as make_engine, print_table, write_csv};
-use dcluster_core::check::check_clustering;
-use dcluster_core::{global_broadcast, ProtocolParams, SeedSeq};
-use dcluster_sim::{deploy, rng::Rng64, Network};
+use dcluster_bench::{
+    print_table, resolver_override, run_scenario_flag, write_csv, DeployLayer, Runner,
+    ScenarioSpec, Workload, WorkloadOutcome,
+};
+
+/// The figure's workload: three hotspots along a line — black/red/blue
+/// clusters of the figure.
+fn fig1_spec() -> ScenarioSpec {
+    ScenarioSpec::new("fig1", 11)
+        .layer(DeployLayer::Clumped {
+            centers: 1,
+            per: 10,
+            sigma: 0.15,
+            side: 0.1,
+        })
+        .layer(DeployLayer::Corridor {
+            n: 30,
+            length: 5.0,
+            width: 1.0,
+            spine: 0.45,
+        })
+        .workload(Workload::GlobalBroadcast {
+            source: 0,
+            token: 99,
+        })
+}
 
 fn main() {
-    // Three hotspots along a line — black/red/blue clusters of the figure.
-    let mut rng = Rng64::new(11);
-    let mut pts = deploy::gaussian_clusters(1, 10, 0.15, 0.1, &mut rng);
-    pts.extend(deploy::corridor_with_spine(30, 5.0, 1.0, 0.45, &mut rng));
-    let net = Network::builder(pts).build().expect("nonempty");
+    let workload = Workload::GlobalBroadcast {
+        source: 0,
+        token: 99,
+    };
+    if run_scenario_flag(workload.clone()) {
+        return;
+    }
+    let runner = Runner::new(fig1_spec()).with_resolver_override(resolver_override());
+    let net = runner.build_network();
     assert!(
         net.comm_graph().is_connected(),
         "workload must be connected"
     );
+    let out = runner.run_on(net, &workload);
+    let WorkloadOutcome::GlobalBroadcast {
+        delivered_all,
+        phases,
+        report,
+        ..
+    } = &out.outcome
+    else {
+        unreachable!("global workload returns a global outcome");
+    };
+    assert!(delivered_all);
 
-    let params = ProtocolParams::practical();
-    let mut seeds = SeedSeq::new(params.seed);
-    let mut engine = make_engine(&net);
-    let out = global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 99);
-    assert!(out.delivered_all);
-
-    let rows: Vec<Vec<String>> = out
-        .phases
+    let rows: Vec<Vec<String>> = phases
         .iter()
         .map(|p| {
             vec![
@@ -54,11 +86,10 @@ fn main() {
         ],
         &rows,
     );
-    let rep = check_clustering(&net, &out.cluster_of);
     println!(
         "\nfinal clustering: {} clusters, max radius {:.3}, ≤{} clusters per unit ball, \
          unassigned {}",
-        rep.clusters, rep.max_radius, rep.max_clusters_per_unit_ball, rep.unassigned
+        report.clusters, report.max_radius, report.max_clusters_per_unit_ball, report.unassigned
     );
     println!("total rounds: {}", out.rounds);
     write_csv(

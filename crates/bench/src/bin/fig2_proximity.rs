@@ -1,23 +1,36 @@
 //! **Figure 2** — proximity-graph construction (Algorithm 1): exchange,
 //! filtering, confirmation; every close pair ends up an edge, degrees stay
 //! ≤ κ.
+//!
+//! A sub-protocol probe: the scenario spec supplies the deployment and
+//! resolver (`--scenario <file>.scn` swaps in a different one); the probe
+//! logic runs Algorithm 1 directly.
 
-use dcluster_bench::{engine as make_engine, print_table, write_csv};
+use dcluster_bench::{
+    print_table, resolver_override, scenario_override, write_csv, Runner, ScenarioSpec,
+};
 use dcluster_core::proximity::build_proximity_graph;
 use dcluster_core::{ProtocolParams, SeedSeq};
 use dcluster_sim::metrics::close_pairs;
-use dcluster_sim::{deploy, rng::Rng64, Network};
 
 fn main() {
-    let params = ProtocolParams::practical();
+    let specs: Vec<ScenarioSpec> = match scenario_override() {
+        Some(spec) => vec![spec],
+        None => [40usize, 80, 120]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| ScenarioSpec::uniform(format!("fig2-n{n}"), 21 + i as u64, n, 3.0))
+            .collect(),
+    };
     let mut rows: Vec<Vec<String>> = Vec::new();
-    for (i, &n) in [40usize, 80, 120].iter().enumerate() {
-        let mut rng = Rng64::new(21 + i as u64);
-        let net = Network::builder(deploy::uniform_square(n, 3.0, &mut rng))
-            .build()
-            .expect("nonempty");
+    let mut kappa = ProtocolParams::practical().kappa;
+    for spec in specs {
+        let params = spec.params;
+        kappa = params.kappa;
+        let runner = Runner::new(spec).with_resolver_override(resolver_override());
+        let net = runner.build_network();
         let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = make_engine(&net);
+        let mut engine = runner.engine(&net);
         let members: Vec<usize> = (0..net.len()).collect();
         let p = build_proximity_graph(
             &mut engine,
@@ -30,7 +43,7 @@ fn main() {
         let pairs = close_pairs(net.points(), None, net.density(), 1.0, net.params().epsilon);
         let covered = pairs.iter().filter(|cp| p.has_edge(cp.u, cp.w)).count();
         rows.push(vec![
-            n.to_string(),
+            net.len().to_string(),
             net.density().to_string(),
             p.edges().len().to_string(),
             p.max_degree().to_string(),
@@ -50,10 +63,7 @@ fn main() {
         ],
         &rows,
     );
-    println!(
-        "\nκ = {} (degree cap); rounds = (κ+1)·|wss| = O(log N)",
-        params.kappa
-    );
+    println!("\nκ = {kappa} (degree cap); rounds = (κ+1)·|wss| = O(log N)");
     write_csv(
         "fig2_proximity",
         &[

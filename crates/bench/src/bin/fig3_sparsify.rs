@@ -1,28 +1,34 @@
 //! **Figure 3** — one sparsification pass, clustered vs unclustered:
 //! densities drop to ≤ ¾Γ; children link to same-cluster parents.
+//!
+//! A sub-protocol probe: scenario specs supply the two deployments
+//! (`--scenario <file>.scn` runs both variants on that deployment).
 
-use dcluster_bench::{engine as make_engine, print_table, write_csv};
+use dcluster_bench::{
+    print_table, resolver_override, scenario_override, write_csv, Runner, ScenarioSpec,
+};
 use dcluster_core::mis::MisStrategy;
 use dcluster_core::sparsify::{
     sparsification, sparsification_u, subset_density, IndependentSetRule,
 };
-use dcluster_core::{ProtocolParams, SeedSeq};
-use dcluster_sim::{deploy, rng::Rng64, Network};
+use dcluster_core::SeedSeq;
 
 fn main() {
-    let params = ProtocolParams::practical();
+    let override_spec = scenario_override();
     let mut rows: Vec<Vec<String>> = Vec::new();
 
     for (variant, seed) in [
         ("clustered (local minima)", 31u64),
         ("unclustered (LOCAL MIS)", 32),
     ] {
-        let mut rng = Rng64::new(seed);
-        let net = Network::builder(deploy::uniform_square(60, 1.8, &mut rng))
-            .build()
-            .expect("nonempty");
+        let spec = override_spec
+            .clone()
+            .unwrap_or_else(|| ScenarioSpec::uniform(format!("fig3-{seed}"), seed, 60, 1.8));
+        let params = spec.params;
+        let runner = Runner::new(spec).with_resolver_override(resolver_override());
+        let net = runner.build_network();
         let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = make_engine(&net);
+        let mut engine = runner.engine(&net);
         let all: Vec<usize> = (0..net.len()).collect();
         let gamma = net.density();
         let clusters = vec![1u64; net.len()];

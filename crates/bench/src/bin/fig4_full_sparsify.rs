@@ -1,19 +1,23 @@
 //! **Figure 4** — full sparsification: the level sets `A_0 ⊇ A_1 ⊇ …` and
 //! their (3/4)^i density decay (Lemma 10).
+//!
+//! A sub-protocol probe over a scenario-spec deployment (the committed
+//! `scenarios/fig4_levels.scn` is this exact spec; `--scenario` swaps it).
 
-use dcluster_bench::{engine as make_engine, print_table, write_csv};
+use dcluster_bench::{
+    print_table, resolver_override, scenario_override, write_csv, Runner, ScenarioSpec,
+};
 use dcluster_core::sparsify::{full_sparsification, max_cluster_size};
-use dcluster_core::{ProtocolParams, SeedSeq};
-use dcluster_sim::{deploy, rng::Rng64, Network};
+use dcluster_core::SeedSeq;
 
 fn main() {
-    let mut rng = Rng64::new(44);
-    let net = Network::builder(deploy::uniform_square(70, 1.6, &mut rng))
-        .build()
-        .expect("nonempty");
-    let params = ProtocolParams::practical();
+    let spec =
+        scenario_override().unwrap_or_else(|| ScenarioSpec::uniform("fig4-levels", 44, 70, 1.6));
+    let params = spec.params;
+    let runner = Runner::new(spec).with_resolver_override(resolver_override());
+    let net = runner.build_network();
     let mut seeds = SeedSeq::new(params.seed);
-    let mut engine = make_engine(&net);
+    let mut engine = runner.engine(&net);
     let all: Vec<usize> = (0..net.len()).collect();
     let gamma = net.density();
     let clusters = vec![1u64; net.len()];

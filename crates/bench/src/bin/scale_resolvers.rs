@@ -15,12 +15,17 @@
 //! * `quick` (default) — n up to 2·10⁴.
 //! * `full` — n up to 10⁵ (the ROADMAP scale target).
 //!
+//! Deployments are scenario specs; `--scenario <file>.scn` sweeps that
+//! one deployment instead of the size ladder.
+//!
 //! Output: markdown table, `results/scale_resolvers.csv`, and
 //! `BENCH_resolvers.json` (committed reference numbers).
 
-use dcluster_bench::{print_table, scale, write_csv, Scale};
+use dcluster_bench::{
+    print_table, scale, scenario_override, write_csv, Runner, Scale, ScenarioSpec,
+};
 use dcluster_core::check::audit_resolver_equivalence;
-use dcluster_sim::{deploy, rng::Rng64, Network, ResolverKind};
+use dcluster_sim::{rng::Rng64, Network, ResolverKind};
 use std::time::Instant;
 
 /// Rounds resolved per (n, density) configuration.
@@ -48,14 +53,21 @@ fn main() {
     // Constant node density (≈40 per unit ball) so |T| — not the geometry —
     // is what grows along the sweep.
     let side_of = |n: usize| (n as f64 / 40.0).sqrt() * 2.0;
+    let specs: Vec<ScenarioSpec> = match scenario_override() {
+        Some(spec) => vec![spec],
+        None => ns
+            .iter()
+            .map(|&n| {
+                ScenarioSpec::uniform(format!("scale-n{n}"), 0x5ca1e + n as u64, n, side_of(n))
+            })
+            .collect(),
+    };
 
     let mut rows: Vec<Row> = Vec::new();
     let mut disagreements = 0u32;
-    for &n in ns {
-        let mut rng = Rng64::new(0x5ca1e + n as u64);
-        let net = Network::builder(deploy::uniform_square(n, side_of(n), &mut rng))
-            .build()
-            .expect("nonempty deployment");
+    for spec in specs {
+        let net: Network = Runner::new(spec).build_network();
+        let n = net.len();
         for &frac in &tx_fracs {
             // Deterministic rotating transmitter sets: round r transmits the
             // nodes whose (index + r·stride) hashes under the fraction.

@@ -1,0 +1,82 @@
+//! **Scenario smoke gate** — runs committed `scenarios/*.scn` files
+//! end-to-end through the unified Runner and gates on **report
+//! determinism**: every spec is executed twice and the two structured
+//! reports must be equal (and their markdown renderings byte-identical).
+//!
+//! Usage: `scenario_smoke [file.scn ...]` — defaults to the two CI specs
+//! (`scenarios/ci_clustering.scn`, `scenarios/ci_maintenance.scn`).
+//! Exits non-zero on a parse error, a failed workload, a spec whose
+//! round-trip through the text format is not the identity, or any
+//! determinism violation.
+
+use dcluster_bench::{resolver_override, Runner, ScenarioSpec};
+
+fn main() {
+    let mut files: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--") && a.ends_with(".scn"))
+        .collect();
+    if files.is_empty() {
+        files = vec![
+            "scenarios/ci_clustering.scn".into(),
+            "scenarios/ci_maintenance.scn".into(),
+        ];
+    }
+    let mut failures = 0u32;
+    for file in &files {
+        let spec = match ScenarioSpec::load(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("FAIL: --scenario {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        // The text format must be a lossless encoding of the spec.
+        match ScenarioSpec::parse(&spec.to_text()) {
+            Ok(rt) if rt == spec => {}
+            Ok(_) => {
+                eprintln!("FAIL: {file}: parse(to_text(spec)) != spec");
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL: {file}: canonical text does not re-parse: {e}");
+                failures += 1;
+            }
+        }
+        let runner = Runner::new(spec).with_resolver_override(resolver_override());
+        let first = runner.run_default();
+        let second = runner.run_default();
+        first.print();
+        if first != second {
+            eprintln!(
+                "FAIL: {file}: reruns of scenario '{}' differ",
+                first.scenario
+            );
+            failures += 1;
+        }
+        if first.to_markdown() != second.to_markdown() {
+            eprintln!("FAIL: {file}: rendered reports differ across reruns");
+            failures += 1;
+        }
+        if !first.ok() {
+            eprintln!(
+                "FAIL: {file}: workload '{}' did not complete",
+                first.workload
+            );
+            failures += 1;
+        }
+        eprintln!(
+            "done: {file} ({}, workload {}, {} rounds)",
+            first.scenario, first.workload, first.rounds
+        );
+    }
+    if failures > 0 {
+        eprintln!("FAIL: {failures} scenario smoke failure(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "\nci gate: OK ({} scenario file(s), byte-identical reports across reruns)",
+        files.len()
+    );
+}

@@ -5,14 +5,20 @@
 //! work both scale linearly in ∆ (ours with a polylog factor and *no* extra
 //! model features); feedback rows flatten to `O(∆ + polylog)`; the
 //! location row is deterministic but pays more.
+//!
+//! Sweep points are scenario specs (`ScenarioSpec::degree`); pass
+//! `--scenario <file>.scn` to run one spec instead of the sweep.
 
 use dcluster_baselines::local::{self, FeedbackPreset};
 use dcluster_bench::{
-    connected_deployment, engine as make_engine, full_scale, print_table, write_csv,
+    full_scale, print_table, resolver_override, run_scenario_flag, write_csv, Runner, ScenarioSpec,
+    Workload, WorkloadOutcome,
 };
-use dcluster_core::{local_broadcast, ProtocolParams, SeedSeq};
 
 fn main() {
+    if run_scenario_flag(Workload::LocalBroadcast) {
+        return;
+    }
     let deltas: Vec<usize> = if full_scale() {
         vec![4, 8, 12, 16, 24]
     } else {
@@ -34,24 +40,38 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut csv: Vec<Vec<String>> = Vec::new();
 
+    let runner_for = |delta: usize, di: usize| {
+        Runner::new(ScenarioSpec::degree(
+            format!("table1-d{delta}"),
+            42 + di as u64,
+            n,
+            delta,
+        ))
+        .with_resolver_override(resolver_override())
+    };
+
     // "This work" runs once per deployment; total and steady-state are two
     // views of the same execution.
     let mut ours: Vec<(u64, u64)> = Vec::new();
     for (di, &delta) in deltas.iter().enumerate() {
-        let net = connected_deployment(n, delta, 42 + di as u64);
-        let params = ProtocolParams::practical();
-        let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = make_engine(&net);
-        let out = local_broadcast(&mut engine, &params, &mut seeds, net.density());
-        assert!(out.complete, "this-work local broadcast must complete");
-        ours.push((out.rounds, out.sweep_rounds));
+        let report = runner_for(delta, di).run(&Workload::LocalBroadcast);
+        let WorkloadOutcome::LocalBroadcast {
+            complete,
+            sweep_rounds,
+            ..
+        } = report.outcome
+        else {
+            unreachable!("local workload returns a local outcome");
+        };
+        assert!(complete, "this-work local broadcast must complete");
+        ours.push((report.rounds, sweep_rounds));
         eprintln!("done: this work @ Δ≈{delta}");
     }
 
     for (ai, name) in algos.iter().enumerate() {
         let mut row = vec![name.to_string()];
         for (di, &delta) in deltas.iter().enumerate() {
-            let net = connected_deployment(n, delta, 42 + di as u64);
+            let net = runner_for(delta, di).build_network();
             let d_real = net.max_degree().max(1);
             let rounds = match ai {
                 0 => local::gmw_known_delta(&net, d_real, 7, cap).rounds,

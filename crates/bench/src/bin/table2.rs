@@ -6,19 +6,35 @@
 //! pays `D·N`; THIS WORK pays `D·Δ·polylog` — better than the sweep,
 //! worse than randomization/location, exactly the paper's message that
 //! extra features help *globally* (Theorem 6) but not locally.
+//!
+//! Sweep points are corridor scenario specs (the committed
+//! `scenarios/table2_d*.scn` files are these exact specs); pass
+//! `--scenario <file>.scn` to run one spec instead of the sweep.
 
 use dcluster_baselines::global;
-use dcluster_bench::{engine as make_engine, full_scale, print_table, write_csv};
-use dcluster_core::{global_broadcast, ProtocolParams, SeedSeq};
-use dcluster_sim::{deploy, rng::Rng64, Network};
+use dcluster_bench::{
+    full_scale, print_table, resolver_override, run_scenario_flag, write_csv, Runner, ScenarioSpec,
+    Workload, WorkloadOutcome,
+};
 
-fn corridor(len: f64, n: usize, seed: u64) -> Network {
-    let mut rng = Rng64::new(seed);
-    let pts = deploy::corridor_with_spine(n, len, 1.2, 0.5, &mut rng);
-    Network::builder(pts).build().expect("nonempty")
+/// The sweep's scenario spec for a corridor of the given length.
+fn corridor_spec(len: f64, i: usize) -> ScenarioSpec {
+    let n = (len * 6.0) as usize;
+    ScenarioSpec::corridor(format!("table2-len{len}"), 500 + i as u64, n, len, 1.2, 0.5).workload(
+        Workload::GlobalBroadcast {
+            source: 0,
+            token: 1,
+        },
+    )
 }
 
 fn main() {
+    if run_scenario_flag(Workload::GlobalBroadcast {
+        source: 0,
+        token: 1,
+    }) {
+        return;
+    }
     let lengths: Vec<f64> = if full_scale() {
         vec![6.0, 12.0, 18.0]
     } else {
@@ -37,12 +53,17 @@ fn main() {
     let mut csv: Vec<Vec<String>> = Vec::new();
     let mut headers = vec!["algorithm (model, theory)".to_string()];
 
-    let nets: Vec<(Network, u32)> = lengths
+    let runners: Vec<Runner> = lengths
         .iter()
         .enumerate()
         .map(|(i, &len)| {
-            let n = (len * 6.0) as usize;
-            let net = corridor(len, n, 500 + i as u64);
+            Runner::new(corridor_spec(len, i)).with_resolver_override(resolver_override())
+        })
+        .collect();
+    let nets: Vec<(dcluster_sim::Network, u32)> = runners
+        .iter()
+        .map(|r| {
+            let net = r.build_network();
             let d = net.comm_graph().diameter().unwrap_or(0);
             (net, d)
         })
@@ -53,7 +74,7 @@ fn main() {
 
     for (ai, name) in algos.iter().enumerate() {
         let mut row = vec![name.to_string()];
-        for (net, d) in &nets {
+        for (i, (net, d)) in nets.iter().enumerate() {
             let delta = net.max_degree().max(2);
             let rounds = match ai {
                 0 => global::decay_flood(net, 0, 3, cap).rounds,
@@ -61,13 +82,19 @@ fn main() {
                 2 => global::round_robin_flood(net, 0, cap).rounds,
                 3 => global::ssf_flood(net, 0, delta, 0.1, cap).rounds,
                 _ => {
-                    let params = ProtocolParams::practical();
-                    let mut seeds = SeedSeq::new(params.seed);
-                    let mut engine = make_engine(net);
-                    let out =
-                        global_broadcast(&mut engine, &params, &mut seeds, 0, net.density(), 1);
-                    assert!(out.delivered_all, "this-work broadcast must complete");
-                    out.rounds
+                    let report = runners[i].run_on(
+                        net.clone(),
+                        &Workload::GlobalBroadcast {
+                            source: 0,
+                            token: 1,
+                        },
+                    );
+                    let WorkloadOutcome::GlobalBroadcast { delivered_all, .. } = report.outcome
+                    else {
+                        unreachable!("global workload returns a global outcome");
+                    };
+                    assert!(delivered_all, "this-work broadcast must complete");
+                    report.rounds
                 }
             };
             row.push(format!("{rounds}"));

@@ -1,16 +1,19 @@
 //! **Theorem 1** — clustering scaling: rounds grow ~linearly in Γ (density)
 //! and ~logarithmically in N (ID space); invariants (i)–(ii) hold
 //! throughout.
+//!
+//! Sweep points are `ScenarioSpec::degree` specs run through the
+//! clustering workload; `--scenario <file>.scn` runs one spec instead.
 
 use dcluster_bench::{
-    connected_deployment, engine as make_engine, full_scale, print_table, write_csv,
+    full_scale, print_table, resolver_override, run_scenario_flag, write_csv, Runner, ScenarioSpec,
+    Workload, WorkloadOutcome,
 };
-use dcluster_core::check::check_clustering;
-use dcluster_core::clustering::clustering;
-use dcluster_core::{ProtocolParams, SeedSeq};
 
 fn main() {
-    let params = ProtocolParams::practical();
+    if run_scenario_flag(Workload::Clustering) {
+        return;
+    }
     let deltas: Vec<usize> = if full_scale() {
         vec![4, 8, 12, 16, 24]
     } else {
@@ -20,17 +23,18 @@ fn main() {
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (i, &delta) in deltas.iter().enumerate() {
-        let net = connected_deployment(n, delta, 700 + i as u64);
-        let gamma = net.density();
-        let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = make_engine(&net);
-        let all: Vec<usize> = (0..net.len()).collect();
-        let cl = clustering(&mut engine, &params, &mut seeds, &all, gamma);
-        let rep = check_clustering(&net, &cl.cluster_of);
+        let spec = ScenarioSpec::degree(format!("thm1-d{delta}"), 700 + i as u64, n, delta);
+        let out = Runner::new(spec)
+            .with_resolver_override(resolver_override())
+            .run(&Workload::Clustering);
+        let WorkloadOutcome::Clustering { report: rep, .. } = &out.outcome else {
+            unreachable!("clustering workload returns a clustering outcome");
+        };
+        let gamma = out.density;
         rows.push(vec![
             gamma.to_string(),
-            cl.rounds.to_string(),
-            format!("{:.1}", cl.rounds as f64 / gamma as f64),
+            out.rounds.to_string(),
+            format!("{:.1}", out.rounds as f64 / gamma as f64),
             rep.clusters.to_string(),
             format!("{:.3}", rep.max_radius),
             rep.max_clusters_per_unit_ball.to_string(),

@@ -2,15 +2,19 @@
 //! local broadcast rounds/Δ should be ≈ flat (linear in Δ, Theorem 2 vs
 //! the universal Ω(Δ)); global broadcast rounds/(D·Δ) likewise
 //! (Theorem 3).
+//!
+//! Both sweeps run scenario specs through the unified Runner;
+//! `--scenario <file>.scn` runs one spec (local workload) instead.
 
 use dcluster_bench::{
-    connected_deployment, engine as make_engine, full_scale, print_table, write_csv,
+    full_scale, print_table, resolver_override, run_scenario_flag, write_csv, Runner, ScenarioSpec,
+    Workload, WorkloadOutcome,
 };
-use dcluster_core::{global_broadcast, local_broadcast, ProtocolParams, SeedSeq};
-use dcluster_sim::{deploy, rng::Rng64, Network};
 
 fn main() {
-    let params = ProtocolParams::practical();
+    if run_scenario_flag(Workload::LocalBroadcast) {
+        return;
+    }
 
     // --- Theorem 2: local broadcast vs Δ.
     let deltas: Vec<usize> = if full_scale() {
@@ -20,12 +24,15 @@ fn main() {
     };
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (i, &delta) in deltas.iter().enumerate() {
-        let net = connected_deployment(70, delta, 300 + i as u64);
-        let gamma = net.density();
-        let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = make_engine(&net);
-        let out = local_broadcast(&mut engine, &params, &mut seeds, gamma);
-        assert!(out.complete);
+        let spec = ScenarioSpec::degree(format!("thm2-d{delta}"), 300 + i as u64, 70, delta);
+        let out = Runner::new(spec)
+            .with_resolver_override(resolver_override())
+            .run(&Workload::LocalBroadcast);
+        let WorkloadOutcome::LocalBroadcast { complete, .. } = out.outcome else {
+            unreachable!("local workload returns a local outcome");
+        };
+        assert!(complete);
+        let gamma = out.density;
         rows.push(vec![
             gamma.to_string(),
             out.rounds.to_string(),
@@ -48,21 +55,34 @@ fn main() {
     // --- Theorem 3: global broadcast vs D at similar Δ.
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (i, &len) in [5.0f64, 10.0, 15.0].iter().enumerate() {
-        let mut rng = Rng64::new(400 + i as u64);
         let n = (len * 5.0) as usize;
-        let pts = deploy::corridor_with_spine(n, len, 1.2, 0.5, &mut rng);
-        let net = Network::builder(pts).build().expect("nonempty");
+        let spec =
+            ScenarioSpec::corridor(format!("thm3-len{len}"), 400 + i as u64, n, len, 1.2, 0.5);
+        let runner = Runner::new(spec).with_resolver_override(resolver_override());
+        let net = runner.build_network();
         let d = net.comm_graph().diameter().unwrap_or(1).max(1);
-        let gamma = net.density();
-        let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = make_engine(&net);
-        let out = global_broadcast(&mut engine, &params, &mut seeds, 0, gamma, 1);
-        assert!(out.delivered_all);
+        let out = runner.run_on(
+            net,
+            &Workload::GlobalBroadcast {
+                source: 0,
+                token: 1,
+            },
+        );
+        let WorkloadOutcome::GlobalBroadcast {
+            delivered_all,
+            phases,
+            ..
+        } = &out.outcome
+        else {
+            unreachable!("global workload returns a global outcome");
+        };
+        assert!(delivered_all);
+        let gamma = out.density;
         rows.push(vec![
             d.to_string(),
             gamma.to_string(),
             out.rounds.to_string(),
-            out.phases.len().to_string(),
+            phases.len().to_string(),
             format!("{:.0}", out.rounds as f64 / (d as f64 * gamma as f64)),
         ]);
         eprintln!("global done D={d}");

@@ -1,50 +1,58 @@
 //! **Theorems 4–5** — wake-up and leader election on multi-hop networks.
+//!
+//! Each corridor is one scenario spec run through the wake-up and leader
+//! workloads; `--scenario <file>.scn` runs one spec (leader workload by
+//! default) instead of the sweep.
 
-use dcluster_bench::{engine as make_engine, print_table, write_csv};
-use dcluster_core::leader::leader_election;
-use dcluster_core::wakeup::wakeup;
-use dcluster_core::{ProtocolParams, SeedSeq};
-use dcluster_sim::{deploy, rng::Rng64, Network};
+use dcluster_bench::{
+    print_table, resolver_override, run_scenario_flag, write_csv, Runner, ScenarioSpec, Workload,
+    WorkloadOutcome,
+};
 
 fn main() {
-    let params = ProtocolParams::practical();
+    if run_scenario_flag(Workload::LeaderElection) {
+        return;
+    }
     let mut rows: Vec<Vec<String>> = Vec::new();
 
     for (i, &len) in [4.0f64, 8.0, 12.0].iter().enumerate() {
-        let mut rng = Rng64::new(800 + i as u64);
         let n = (len * 5.0) as usize;
-        let pts = deploy::corridor_with_spine(n, len, 1.2, 0.5, &mut rng);
-        let net = Network::builder(pts).build().expect("nonempty");
+        let spec =
+            ScenarioSpec::corridor(format!("thm45-len{len}"), 800 + i as u64, n, len, 1.2, 0.5);
+        let runner = Runner::new(spec).with_resolver_override(resolver_override());
+        let net = runner.build_network();
         let d = net.comm_graph().diameter().unwrap_or(0);
-        let delta = net.density();
 
         // Theorem 4: wake-up from a single spontaneous node.
-        let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = make_engine(&net);
-        let w = wakeup(&mut engine, &params, &mut seeds, &[0], delta);
-        assert!(w.all_awake);
+        let w = runner.run_on(net.clone(), &Workload::Wakeup { sources: vec![0] });
+        let WorkloadOutcome::Wakeup { all_awake, .. } = w.outcome else {
+            unreachable!("wakeup workload returns a wakeup outcome");
+        };
+        assert!(all_awake);
 
         // Theorem 4: wake-up from scattered spontaneous nodes.
-        let mut seeds2 = SeedSeq::new(params.seed);
-        let mut engine2 = make_engine(&net);
         let spont: Vec<usize> = (0..net.len()).step_by(5).collect();
-        let w2 = wakeup(&mut engine2, &params, &mut seeds2, &spont, delta);
-        assert!(w2.all_awake);
+        let w2 = runner.run_on(net.clone(), &Workload::Wakeup { sources: spont });
+        let WorkloadOutcome::Wakeup { all_awake, .. } = w2.outcome else {
+            unreachable!("wakeup workload returns a wakeup outcome");
+        };
+        assert!(all_awake);
 
         // Theorem 5: leader election.
-        let mut seeds3 = SeedSeq::new(params.seed);
-        let mut engine3 = make_engine(&net);
-        let le = leader_election(&mut engine3, &params, &mut seeds3, delta);
+        let le = runner.run_on(net.clone(), &Workload::LeaderElection);
+        let WorkloadOutcome::Leader { leader_id, probes } = le.outcome else {
+            unreachable!("leader workload returns a leader outcome");
+        };
 
         rows.push(vec![
             d.to_string(),
             net.len().to_string(),
-            delta.to_string(),
+            le.density.to_string(),
             w.rounds.to_string(),
             w2.rounds.to_string(),
             le.rounds.to_string(),
-            le.probes.to_string(),
-            le.leader_id.to_string(),
+            probes.to_string(),
+            leader_id.to_string(),
         ]);
         eprintln!("done D={d}");
     }

@@ -17,108 +17,44 @@
 //! | `thm45_wakeup_leader` | Theorems 4–5 |
 //! | `selector_sizes` | Lemmas 2–3 selector sizes |
 //! | `ablation_wss` | why *witnessed* selection matters (Lemma 7) |
+//! | `scenario_smoke` | determinism gate over committed `scenarios/*.scn` |
 //!
-//! Each binary prints a markdown table and writes CSV next to it under
-//! `results/`.
+//! Every network-driven binary builds its world through the **Scenario
+//! API** (`dcluster-scenario`): sweep points are [`ScenarioSpec`]s run by
+//! a [`Runner`], and `--scenario <file>.scn` replaces the built-in sweep
+//! with a spec file. `--resolver KIND` pins the SINR backend everywhere.
+//! Each binary prints markdown tables and writes CSV under
+//! `$DCLUSTER_RESULTS_DIR` (default `results/`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::fmt::Display;
-use std::fs;
-use std::path::PathBuf;
+pub use dcluster_scenario::{
+    connected_deployment, epoch_row, format_table, full_scale, print_table, scale, write_csv,
+    DeployLayer, DynamicsSpec, Report, Runner, Scale, ScenarioSpec, Workload, WorkloadOutcome,
+    EPOCH_HEADERS,
+};
 
-/// Prints a markdown table to stdout.
-pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
-    println!("\n## {title}\n");
-    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    println!("| {} |", hdr.join(" | "));
-    println!(
-        "|{}|",
-        hdr.iter().map(|_| "---").collect::<Vec<_>>().join("|")
-    );
-    for row in rows {
-        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
-        println!("| {} |", cells.join(" | "));
-    }
+/// The `--resolver=KIND` / `--resolver KIND` CLI flag alone (no env
+/// fallback). Unknown kinds abort with the parse error (a typo must not
+/// silently fall back).
+pub fn resolver_flag() -> Option<dcluster_sim::ResolverKind> {
+    flag_value("--resolver").map(|v| match v.parse::<dcluster_sim::ResolverKind>() {
+        Ok(kind) => kind,
+        Err(e) => panic!("--resolver: {e}"),
+    })
 }
 
-/// Writes rows as CSV under `results/<name>.csv` (relative to the CWD the
-/// harness is launched from); errors are reported, not fatal.
-pub fn write_csv<H: Display, C: Display>(name: &str, headers: &[H], rows: &[Vec<C>]) {
-    let dir = PathBuf::from("results");
-    if let Err(e) = fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create results dir: {e}");
-        return;
-    }
-    let mut out = String::new();
-    out.push_str(
-        &headers
-            .iter()
-            .map(|h| h.to_string())
-            .collect::<Vec<_>>()
-            .join(","),
-    );
-    out.push('\n');
-    for row in rows {
-        out.push_str(
-            &row.iter()
-                .map(|c| c.to_string())
-                .collect::<Vec<_>>()
-                .join(","),
-        );
-        out.push('\n');
-    }
-    let path = dir.join(format!("{name}.csv"));
-    match fs::write(&path, out) {
-        Ok(()) => println!("\n[csv] wrote {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-    }
-}
-
-/// Experiment size tier, from the `DCLUSTER_SCALE` env var.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Scale {
-    /// CI smoke tier (`DCLUSTER_SCALE=ci`): small enough for a gate job.
-    Ci,
-    /// Default interactive tier.
-    Quick,
-    /// Paper-scale tier (`DCLUSTER_SCALE=full`): roughly doubles network
-    /// sizes and sweep points; `scale_resolvers` sweeps to 10⁵ nodes.
-    Full,
-}
-
-/// Scale knob for experiment sizes: `DCLUSTER_SCALE=ci|quick|full`
-/// (default quick; unknown values fall back to quick).
-pub fn scale() -> Scale {
-    match std::env::var("DCLUSTER_SCALE").as_deref() {
-        Ok("ci") => Scale::Ci,
-        Ok("full") => Scale::Full,
-        _ => Scale::Quick,
-    }
-}
-
-/// True iff running at the paper-scale tier (legacy helper).
-pub fn full_scale() -> bool {
-    scale() == Scale::Full
-}
-
-/// Resolver backend override for the harness binaries: `--resolver=KIND`
-/// or `--resolver KIND` on the command line, else the `DCLUSTER_RESOLVER`
-/// env var; `None` means "use the network's scale-aware default". Unknown
-/// kinds abort with the parse error (a typo must not silently fall back).
+/// Resolver backend override for the harness binaries: the `--resolver`
+/// flag, else the `DCLUSTER_RESOLVER` env var; `None` means "use the
+/// network's scale-aware default".
 pub fn resolver_override() -> Option<dcluster_sim::ResolverKind> {
-    flag_value("--resolver")
-        .map(|v| match v.parse::<dcluster_sim::ResolverKind>() {
-            Ok(kind) => kind,
-            Err(e) => panic!("--resolver: {e}"),
-        })
-        // Same env fallback the examples use (`Engine::from_env`).
-        .or_else(dcluster_sim::ResolverKind::from_env)
+    // Same env fallback the examples use (`Runner::resolver_for`).
+    resolver_flag().or_else(dcluster_sim::ResolverKind::from_env)
 }
 
 /// A `--flag value` / `--flag=value` string option from the command line
-/// (shared by the scenario flags of the dynamics binaries).
+/// (shared by the scenario flags of the experiment binaries).
 pub fn flag_value(flag: &str) -> Option<String> {
     let eq = format!("{flag}=");
     let mut args = std::env::args().skip(1);
@@ -136,42 +72,37 @@ pub fn flag_value(flag: &str) -> Option<String> {
     None
 }
 
-/// Creates the engine every experiment binary should use: the
-/// [`resolver_override`] backend when given, else the network's
-/// scale-aware default.
-pub fn engine(net: &dcluster_sim::Network) -> dcluster_sim::Engine<'_> {
-    match resolver_override() {
-        Some(kind) => dcluster_sim::Engine::with_resolver_kind(net, kind),
-        None => dcluster_sim::Engine::new(net),
-    }
+/// The spec named by `--scenario <file>.scn`, if given; parse errors
+/// abort naming the file and line.
+pub fn scenario_override() -> Option<ScenarioSpec> {
+    flag_value("--scenario").map(|path| match ScenarioSpec::load(&path) {
+        Ok(spec) => spec,
+        Err(e) => panic!("--scenario: {e}"),
+    })
 }
 
-/// Builds a connected uniform deployment targeting max degree ≈ `delta`
-/// with `n` nodes (retries seeds until connected).
-pub fn connected_deployment(n: usize, delta: usize, seed: u64) -> dcluster_sim::Network {
-    let comm_r = dcluster_sim::SinrParams::default().comm_radius();
-    for attempt in 0..50 {
-        let mut rng = dcluster_sim::rng::Rng64::new(seed + attempt * 1000);
-        let pts = dcluster_sim::deploy::uniform_with_target_degree(n, delta, comm_r, &mut rng);
-        let net = dcluster_sim::Network::builder(pts)
-            .build()
-            .expect("nonempty");
-        if net.comm_graph().is_connected() {
-            return net;
-        }
+/// The standard `--scenario` entry point for workload binaries: when the
+/// flag is present, runs the spec (its own `workload` line, else
+/// `default`) through a [`Runner`] honoring `--resolver`, prints the
+/// report and writes its CSV, and returns `true` — the binary should then
+/// skip its built-in sweep. Exits non-zero if the workload's success
+/// criterion fails.
+pub fn run_scenario_flag(default: Workload) -> bool {
+    let Some(spec) = scenario_override() else {
+        return false;
+    };
+    let workload = spec.workload.clone().unwrap_or(default);
+    // Flag-only override: a spec's pinned `resolver` line outranks the
+    // ambient DCLUSTER_RESOLVER env, but never an explicit flag.
+    let runner = Runner::new(spec).with_resolver_override(resolver_flag());
+    let report = runner.run(&workload);
+    report.print();
+    report.write_csv();
+    if !report.ok() {
+        eprintln!("FAIL: scenario '{}' did not complete", report.scenario);
+        std::process::exit(1);
     }
-    // Fall back to a spined corridor (always connected).
-    let mut rng = dcluster_sim::rng::Rng64::new(seed);
-    let pts = dcluster_sim::deploy::corridor_with_spine(
-        n,
-        (n as f64 / delta.max(1) as f64).max(3.0),
-        1.5,
-        0.5,
-        &mut rng,
-    );
-    dcluster_sim::Network::builder(pts)
-        .build()
-        .expect("nonempty")
+    true
 }
 
 #[cfg(test)]
@@ -197,9 +128,11 @@ mod tests {
     }
 
     #[test]
-    fn engine_helper_builds_a_usable_engine() {
-        let net = connected_deployment(40, 6, 11);
-        let engine = engine(&net);
+    fn runner_built_engine_matches_the_scale_aware_default() {
+        let spec = ScenarioSpec::degree("t", 11, 40, 6);
+        let runner = Runner::new(spec);
+        let net = runner.build_network();
+        let engine = runner.engine(&net);
         assert_eq!(engine.round(), 0);
         assert_eq!(engine.resolver_kind(), net.default_resolver());
     }

@@ -37,6 +37,22 @@ pub struct Clustering {
     pub levels: usize,
 }
 
+impl Clustering {
+    /// The cluster of `v`, falling back to `v`'s own ID for unassigned
+    /// nodes — the canonical "every node belongs somewhere" view the
+    /// downstream protocols (stack, sparsification, label sweeps) share:
+    /// a node outside the clustered set behaves as its own singleton
+    /// cluster.
+    pub fn cluster_or_id(&self, net: &dcluster_sim::Network, v: usize) -> u64 {
+        self.cluster_of[v].unwrap_or_else(|| net.id(v))
+    }
+
+    /// [`Clustering::cluster_or_id`] for every node, indexable by node.
+    pub fn cluster_or_id_all(&self, net: &dcluster_sim::Network) -> Vec<u64> {
+        (0..net.len()).map(|v| self.cluster_or_id(net, v)).collect()
+    }
+}
+
 /// Runs Algorithm 6 on the node set `a` with density bound `gamma`.
 pub fn clustering(
     engine: &mut Engine<'_>,

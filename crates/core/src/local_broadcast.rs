@@ -55,9 +55,7 @@ pub fn local_broadcast(
 
     // Step 1: 1-clustering (Theorem 1).
     let cl = clustering(engine, params, seeds, &all, delta);
-    let cluster_of: Vec<u64> = (0..n)
-        .map(|v| cl.cluster_of[v].unwrap_or_else(|| net.id(v)))
-        .collect();
+    let cluster_of = cl.cluster_or_id_all(net);
 
     // Step 2: imperfect labeling (Lemma 11).
     let fs = full_sparsification(engine, params, seeds, delta, &all, &cluster_of);

@@ -43,9 +43,7 @@ impl Stack {
         let n = net.len();
         let all: Vec<usize> = (0..n).collect();
         let cl = clustering(engine, params, seeds, &all, delta);
-        let cluster_of: Vec<u64> = (0..n)
-            .map(|v| cl.cluster_of[v].unwrap_or_else(|| net.id(v)))
-            .collect();
+        let cluster_of = cl.cluster_or_id_all(net);
         let fs = full_sparsification(engine, params, seeds, delta, &all, &cluster_of);
         let lab = imperfect_labeling(engine, &fs, params.kappa);
         Self {
@@ -79,9 +77,7 @@ impl Stack {
         let start = engine.round();
         let net = engine.network();
         let n = net.len();
-        let cluster_of: Vec<u64> = (0..n)
-            .map(|v| self.clustering.cluster_of[v].unwrap_or_else(|| net.id(v)))
-            .collect();
+        let cluster_of = self.clustering.cluster_or_id_all(net);
         let mut heard_by: Vec<HashSet<usize>> = vec![HashSet::new(); n];
         let max_label = self.labeling.max_label();
         for l in 1..=max_label {

@@ -1,0 +1,102 @@
+//! Shared result emitters: markdown tables and CSV artifacts.
+//!
+//! Moved here from the bench crate so that every consumer of a
+//! [`crate::Report`] — experiment binaries, examples, CI smoke jobs —
+//! renders results identically. `dcluster-bench` re-exports these.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Renders a markdown table to a string (a `##` title, a header row, and
+/// one row per entry).
+pub fn format_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n## {title}\n");
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let _ = writeln!(out, "| {} |", hdr.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        hdr.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(out, "| {} |", cells.join(" | "));
+    }
+    out
+}
+
+/// Prints a markdown table to stdout.
+pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
+    print!("{}", format_table(title, headers, rows));
+}
+
+/// The directory CSV artifacts go to: `$DCLUSTER_RESULTS_DIR` when set,
+/// else `results/` relative to the CWD the harness is launched from.
+pub fn results_dir() -> PathBuf {
+    match std::env::var("DCLUSTER_RESULTS_DIR") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("results"),
+    }
+}
+
+/// Writes rows as CSV under `<results_dir>/<name>.csv`; errors are
+/// reported (naming the attempted path), not fatal.
+pub fn write_csv<H: Display, C: Display>(name: &str, headers: &[H], rows: &[Vec<C>]) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results dir {}: {e}", dir.display());
+        return;
+    }
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| h.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match fs::write(&path, out) {
+        Ok(()) => println!("\n[csv] wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_table_is_markdown() {
+        let t = format_table("t", &["a", "b"], &[vec![1, 2], vec![3, 4]]);
+        assert!(t.contains("## t"));
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 3 | 4 |"));
+    }
+
+    #[test]
+    fn results_dir_honors_the_env_override() {
+        // Serialized by the env var itself: no other test touches it.
+        std::env::set_var("DCLUSTER_RESULTS_DIR", "/tmp/dcluster-results-test");
+        assert_eq!(
+            results_dir(),
+            PathBuf::from("/tmp/dcluster-results-test"),
+            "override must win"
+        );
+        std::env::remove_var("DCLUSTER_RESULTS_DIR");
+        assert_eq!(results_dir(), PathBuf::from("results"));
+    }
+}

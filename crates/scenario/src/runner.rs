@@ -1,0 +1,521 @@
+//! The unified runner: one execution path from a [`ScenarioSpec`] to a
+//! [`Report`], shared by every experiment binary and example.
+//!
+//! What used to be hand-wired per driver — deploy → `Network` → `Engine`
+//! → protocol → metrics, with per-binary `--resolver` plumbing and ad-hoc
+//! deploy code — is one deterministic pipeline here:
+//!
+//! 1. [`Runner::build_network`] realizes the deployment layers over a
+//!    single RNG seeded from the spec, applies the heterogeneous-power
+//!    profile and ID-space settings;
+//! 2. [`Runner::resolver_for`] picks the backend with one precedence
+//!    everywhere: explicit override (CLI flag) → spec `resolver` line →
+//!    `DCLUSTER_RESOLVER` env → the network's scale-aware default;
+//! 3. [`Runner::run`] executes a [`Workload`] through `Engine` /
+//!    `MaintenanceDriver` and returns the structured [`Report`].
+//!
+//! Everything is deterministic: the same spec produces byte-identical
+//! reports on every run and every machine (the `scenario_smoke` CI job
+//! gates on exactly that).
+
+use crate::report::{Report, WorkloadOutcome};
+use crate::spec::{DeployLayer, DynamicsSpec, ScenarioSpec, SpecError, Workload};
+use crate::{scale, Scale};
+use dcluster_core::check::{check_clustering, ClusteringReport};
+use dcluster_core::clustering::clustering;
+use dcluster_core::global_broadcast::global_broadcast;
+use dcluster_core::leader::leader_election;
+use dcluster_core::local_broadcast::local_broadcast;
+use dcluster_core::maintenance::MaintenanceDriver;
+use dcluster_core::wakeup::wakeup;
+use dcluster_core::SeedSeq;
+use dcluster_dynamics::{Churn, DynamicsModel, GroupDrift, RandomWalk, RandomWaypoint, World};
+use dcluster_sim::rng::Rng64;
+use dcluster_sim::{deploy, Engine, Network, Point, ResolverKind, SinrParams};
+
+/// Builds a connected uniform deployment targeting max degree ≈ `delta`
+/// with `n` nodes, retrying seeds until the communication graph is
+/// connected (falling back to a spined corridor, which always is). The
+/// deterministic deployment behind [`DeployLayer::Degree`].
+pub fn connected_deployment(n: usize, delta: usize, seed: u64) -> Network {
+    let comm_r = SinrParams::default().comm_radius();
+    for attempt in 0..50 {
+        let mut rng = Rng64::new(seed + attempt * 1000);
+        let pts = deploy::uniform_with_target_degree(n, delta, comm_r, &mut rng);
+        let net = Network::builder(pts).build().expect("nonempty");
+        if net.comm_graph().is_connected() {
+            return net;
+        }
+    }
+    // Fall back to a spined corridor (always connected).
+    let mut rng = Rng64::new(seed);
+    let pts = deploy::corridor_with_spine(
+        n,
+        (n as f64 / delta.max(1) as f64).max(3.0),
+        1.5,
+        0.5,
+        &mut rng,
+    );
+    Network::builder(pts).build().expect("nonempty")
+}
+
+/// The axis-aligned bounding box `[0, w]×[0, h]` the dynamics models
+/// operate in (at least the unit square).
+pub fn bounding_box(net: &Network) -> (f64, f64) {
+    let mut w = 0.0f64;
+    let mut h = 0.0f64;
+    for p in net.points() {
+        w = w.max(p.x);
+        h = h.max(p.y);
+    }
+    (w.max(1.0), h.max(1.0))
+}
+
+/// Executes [`Workload`]s described by a [`ScenarioSpec`] (see the module
+/// docs for the pipeline).
+#[derive(Debug, Clone)]
+pub struct Runner {
+    spec: ScenarioSpec,
+    override_resolver: Option<ResolverKind>,
+}
+
+impl Runner {
+    /// Wraps a spec.
+    pub fn new(spec: ScenarioSpec) -> Self {
+        Self {
+            spec,
+            override_resolver: None,
+        }
+    }
+
+    /// Loads a `.scn` file.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self, SpecError> {
+        Ok(Self::new(ScenarioSpec::load(path)?))
+    }
+
+    /// Pins the resolver backend ahead of everything else (the CLI
+    /// `--resolver` flag of the bench binaries); `None` is a no-op.
+    pub fn with_resolver_override(mut self, kind: Option<ResolverKind>) -> Self {
+        self.override_resolver = kind.or(self.override_resolver);
+        self
+    }
+
+    /// The spec being executed.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The scale tier in force: the spec's pinned tier, else
+    /// `DCLUSTER_SCALE`.
+    pub fn scale(&self) -> Scale {
+        self.spec.scale.unwrap_or_else(scale)
+    }
+
+    /// Realizes the deployment: layers over one shared RNG, then the
+    /// heterogeneous-power profile (`dynamics het_power`) and ID-space
+    /// settings. Deterministic in the spec.
+    pub fn build_network(&self) -> Network {
+        let layers = &self.spec.deploy.layers;
+        assert!(!layers.is_empty(), "spec has no deploy layer");
+        let base = if let [DeployLayer::Degree { n, delta }] = layers[..] {
+            self.with_id_settings(
+                connected_deployment(n, delta, self.spec.seed)
+                    .points()
+                    .to_vec(),
+            )
+        } else {
+            let mut rng = Rng64::new(self.spec.seed);
+            let mut pts: Vec<Point> = Vec::new();
+            for layer in layers {
+                match *layer {
+                    DeployLayer::Uniform { n, side } => {
+                        pts.extend(deploy::uniform_square(n, side, &mut rng))
+                    }
+                    DeployLayer::Degree { .. } => {
+                        unreachable!("parse/validate rejects layered degree deployments")
+                    }
+                    DeployLayer::Clumped {
+                        centers,
+                        per,
+                        sigma,
+                        side,
+                    } => pts.extend(deploy::gaussian_clusters(
+                        centers, per, sigma, side, &mut rng,
+                    )),
+                    DeployLayer::Grid {
+                        rows,
+                        cols,
+                        spacing,
+                        jitter,
+                    } => pts.extend(deploy::perturbed_grid(
+                        rows, cols, spacing, jitter, &mut rng,
+                    )),
+                    DeployLayer::Corridor {
+                        n,
+                        length,
+                        width,
+                        spine,
+                    } => pts.extend(deploy::corridor_with_spine(
+                        n, length, width, spine, &mut rng,
+                    )),
+                    DeployLayer::Line { n, spacing } => pts.extend(deploy::line(n, spacing)),
+                    DeployLayer::Ring { n, radius } => pts.extend(deploy::ring(n, radius)),
+                }
+            }
+            self.with_id_settings(pts)
+        };
+        // Heterogeneous power applies after deployment, exactly like the
+        // historical drivers (sub-seed `seed ^ 3`).
+        self.spec.dynamics.iter().fold(base, |net, d| match *d {
+            DynamicsSpec::HetPower { spread } => {
+                dcluster_dynamics::with_power_profile(&net, spread, self.spec.seed ^ 3)
+            }
+            _ => net,
+        })
+    }
+
+    fn with_id_settings(&self, pts: Vec<Point>) -> Network {
+        let mut b = Network::builder(pts);
+        if let Some(m) = self.spec.max_id {
+            b = b.max_id(m);
+        }
+        if let Some(s) = self.spec.id_seed {
+            b = b.seed(s);
+        }
+        b.build().expect("spec deployments are nonempty")
+    }
+
+    /// The backend every engine of this run uses. Precedence: explicit
+    /// override (CLI `--resolver`) → the spec's `resolver` line →
+    /// `DCLUSTER_RESOLVER` env → the network's scale-aware default. A
+    /// spec that pins its backend beats ambient machine state, so
+    /// committed `.scn` files run environment-independently.
+    pub fn resolver_for(&self, net: &Network) -> ResolverKind {
+        self.override_resolver
+            .or(self.spec.resolver)
+            .or_else(ResolverKind::from_env)
+            .unwrap_or_else(|| net.default_resolver())
+    }
+
+    /// An engine over `net` with [`Runner::resolver_for`]'s backend — the
+    /// one way every driver now obtains its engine.
+    pub fn engine<'n>(&self, net: &'n Network) -> Engine<'n> {
+        Engine::with_resolver_kind(net, self.resolver_for(net))
+    }
+
+    /// Instantiates the spec's mobility/churn models over `net`'s bounding
+    /// box ([`DynamicsSpec::HetPower`] is deploy-time and is skipped).
+    /// Sub-seeds: mobility `seed ^ 1`, churn `seed ^ 2`.
+    pub fn models(&self, net: &Network) -> Vec<Box<dyn DynamicsModel>> {
+        let bounds = bounding_box(net);
+        let n = net.len();
+        let seed = self.spec.seed;
+        let mut models: Vec<Box<dyn DynamicsModel>> = Vec::new();
+        for d in &self.spec.dynamics {
+            match *d {
+                DynamicsSpec::Waypoint { speed, frac } => models.push(Box::new(
+                    RandomWaypoint::new(n, bounds, speed, frac, seed ^ 1),
+                )),
+                DynamicsSpec::Walk { step, frac } => {
+                    models.push(Box::new(RandomWalk::new(n, bounds, step, frac, seed ^ 1)))
+                }
+                DynamicsSpec::Group {
+                    speed,
+                    frac,
+                    groups,
+                } => models.push(Box::new(GroupDrift::new(
+                    n,
+                    bounds,
+                    speed,
+                    frac,
+                    groups,
+                    seed ^ 1,
+                ))),
+                DynamicsSpec::Churn { sleep, wake } => {
+                    models.push(Box::new(Churn::new(seed ^ 2, sleep, wake)))
+                }
+                DynamicsSpec::HetPower { .. } => {}
+            }
+        }
+        models
+    }
+
+    /// The maintenance epoch count in force: the spec's `epochs` line, or
+    /// the scale tier's standard count when it says `0` ("tier-sized").
+    pub fn epochs(&self) -> u64 {
+        if self.spec.epochs > 0 {
+            return self.spec.epochs;
+        }
+        match self.scale() {
+            Scale::Ci => 3,
+            Scale::Quick => 5,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Runs the spec's own workload (`workload` line), defaulting to
+    /// [`Workload::Clustering`].
+    pub fn run_default(&self) -> Report {
+        let w = self.spec.workload.clone().unwrap_or(Workload::Clustering);
+        self.run(&w)
+    }
+
+    /// Executes `workload` against a freshly built world and returns the
+    /// structured report.
+    pub fn run(&self, workload: &Workload) -> Report {
+        self.run_on(self.build_network(), workload)
+    }
+
+    /// [`Runner::run`] over a caller-supplied network — for drivers that
+    /// already built (and inspected) the deployment, so it is not paid
+    /// for twice. `net` must come from [`Runner::build_network`] on the
+    /// same spec for the report to be attributable to it.
+    pub fn run_on(&self, net: Network, workload: &Workload) -> Report {
+        let kind = self.resolver_for(&net);
+        let params = self.spec.params;
+        let mut seeds = SeedSeq::new(params.seed);
+        let mut header = Report {
+            scenario: self.spec.name.clone(),
+            workload: workload.name(),
+            n: net.len(),
+            density: net.density(),
+            max_degree: net.max_degree(),
+            resolver: kind,
+            rounds: 0,
+            transmissions: 0,
+            receptions: 0,
+            resolver_stats: Default::default(),
+            outcome: WorkloadOutcome::Empty,
+        };
+        match workload {
+            Workload::Clustering => {
+                let mut engine = Engine::with_resolver_kind(&net, kind);
+                let all: Vec<usize> = (0..net.len()).collect();
+                let cl = clustering(&mut engine, &params, &mut seeds, &all, net.density());
+                let report = check_clustering(&net, &cl.cluster_of);
+                header.fill_engine(&engine);
+                header.outcome = WorkloadOutcome::Clustering {
+                    centers: cl.centers.len(),
+                    levels: cl.levels,
+                    cluster_of: cl.cluster_of,
+                    report,
+                };
+            }
+            Workload::LocalBroadcast => {
+                let mut engine = Engine::with_resolver_kind(&net, kind);
+                let out = local_broadcast(&mut engine, &params, &mut seeds, net.density());
+                header.fill_engine(&engine);
+                header.outcome = WorkloadOutcome::LocalBroadcast {
+                    complete: out.complete,
+                    sweeps: out.sweeps,
+                    sweep_rounds: out.sweep_rounds,
+                    max_label: out.labeling.max_label(),
+                    clusters: out.clustering.centers.len(),
+                };
+            }
+            Workload::GlobalBroadcast { source, token } => {
+                assert!(*source < net.len(), "source {source} out of range");
+                let mut engine = Engine::with_resolver_kind(&net, kind);
+                let out = global_broadcast(
+                    &mut engine,
+                    &params,
+                    &mut seeds,
+                    *source,
+                    net.density(),
+                    *token,
+                );
+                let report = check_clustering(&net, &out.cluster_of);
+                header.fill_engine(&engine);
+                header.outcome = WorkloadOutcome::GlobalBroadcast {
+                    delivered_all: out.delivered_all,
+                    local_broadcast_ok: out.local_broadcast_ok,
+                    phases: out.phases,
+                    cluster_of: out.cluster_of,
+                    report,
+                };
+            }
+            Workload::Maintenance => {
+                let mut world = World::new(net);
+                let mut models = self.models(world.network());
+                let mut driver = MaintenanceDriver::new(params);
+                let mut reports = Vec::new();
+                for _ in 0..self.epochs() {
+                    world.step(&mut models);
+                    world
+                        .audit_incremental()
+                        .expect("incremental world maintenance must equal a rebuild");
+                    let awake = world.awake_nodes();
+                    reports.push(driver.epoch(world.network(), kind, &mut seeds, &awake));
+                }
+                header.rounds = reports.iter().map(|r| r.rounds).sum();
+                header.outcome = WorkloadOutcome::Maintenance {
+                    epochs: reports,
+                    summary: driver.summary(),
+                };
+            }
+            Workload::Wakeup { sources } => {
+                for &s in sources {
+                    assert!(s < net.len(), "wakeup source {s} out of range");
+                }
+                let mut engine = Engine::with_resolver_kind(&net, kind);
+                let out = wakeup(&mut engine, &params, &mut seeds, sources, net.density());
+                header.fill_engine(&engine);
+                header.outcome = WorkloadOutcome::Wakeup {
+                    all_awake: out.all_awake,
+                    centers: out.centers,
+                };
+            }
+            Workload::LeaderElection => {
+                let mut engine = Engine::with_resolver_kind(&net, kind);
+                let out = leader_election(&mut engine, &params, &mut seeds, net.density());
+                header.fill_engine(&engine);
+                header.outcome = WorkloadOutcome::Leader {
+                    leader_id: out.leader_id,
+                    probes: out.probes,
+                };
+            }
+        }
+        header
+    }
+}
+
+/// Convenience for sub-protocol probes (the fig2/fig3/fig4 style
+/// binaries): the clustering-quality report of an explicit assignment.
+pub fn quality(net: &Network, cluster_of: &[Option<u64>]) -> ClusteringReport {
+    check_clustering(net, cluster_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DynamicsSpec;
+
+    #[test]
+    fn connected_deployment_is_connected() {
+        let net = connected_deployment(60, 8, 3);
+        assert!(net.comm_graph().is_connected());
+        assert_eq!(net.len(), 60);
+    }
+
+    #[test]
+    fn layered_deployments_share_one_rng() {
+        // Two layers must equal the historical "one rng threaded through
+        // both generators" composition byte for byte.
+        let spec = ScenarioSpec::new("fig1", 11)
+            .layer(DeployLayer::Clumped {
+                centers: 1,
+                per: 10,
+                sigma: 0.15,
+                side: 0.1,
+            })
+            .layer(DeployLayer::Corridor {
+                n: 30,
+                length: 5.0,
+                width: 1.0,
+                spine: 0.45,
+            });
+        let got = Runner::new(spec).build_network();
+        let mut rng = Rng64::new(11);
+        let mut pts = deploy::gaussian_clusters(1, 10, 0.15, 0.1, &mut rng);
+        pts.extend(deploy::corridor_with_spine(30, 5.0, 1.0, 0.45, &mut rng));
+        let want = Network::builder(pts).build().unwrap();
+        assert_eq!(got.points(), want.points());
+        assert_eq!(got.ids(), want.ids());
+    }
+
+    #[test]
+    fn het_power_matches_the_historical_profile() {
+        let spec = ScenarioSpec::degree("dyn", 0xD15C0, 40, 8)
+            .dynamics(DynamicsSpec::HetPower { spread: 0.3 });
+        let got = Runner::new(spec).build_network();
+        let base = connected_deployment(40, 8, 0xD15C0);
+        let want = dcluster_dynamics::with_power_profile(&base, 0.3, 0xD15C0 ^ 3);
+        assert_eq!(got.powers(), want.powers());
+        assert_eq!(got.points(), want.points());
+    }
+
+    #[test]
+    fn resolver_precedence_override_beats_spec() {
+        let spec = ScenarioSpec::uniform("r", 5, 30, 2.0).resolver(ResolverKind::Naive);
+        let net = Runner::new(spec.clone()).build_network();
+        assert_eq!(
+            Runner::new(spec.clone()).resolver_for(&net),
+            ResolverKind::Naive,
+            "spec line wins over the scale-aware default"
+        );
+        assert_eq!(
+            Runner::new(spec)
+                .with_resolver_override(Some(ResolverKind::Grid))
+                .resolver_for(&net),
+            ResolverKind::Grid,
+            "explicit override wins over the spec"
+        );
+    }
+
+    #[test]
+    fn clustering_workload_covers_everyone() {
+        let report =
+            Runner::new(ScenarioSpec::uniform("q", 2024, 40, 3.0)).run(&Workload::Clustering);
+        assert_eq!(report.n, 40);
+        assert!(report.rounds > 0);
+        let WorkloadOutcome::Clustering { report: q, .. } = &report.outcome else {
+            panic!("wrong outcome kind");
+        };
+        assert_eq!(q.unassigned, 0);
+    }
+
+    #[test]
+    fn maintenance_workload_reports_every_epoch() {
+        let spec = ScenarioSpec::degree("m", 0xD15C0, 50, 8)
+            .dynamics(DynamicsSpec::Waypoint {
+                speed: 0.25,
+                frac: 0.2,
+            })
+            .dynamics(DynamicsSpec::Churn {
+                sleep: 0.08,
+                wake: 0.35,
+            })
+            .epochs(2)
+            .resolver(ResolverKind::Aggregated);
+        let report = Runner::new(spec).run(&Workload::Maintenance);
+        let WorkloadOutcome::Maintenance { epochs, summary } = &report.outcome else {
+            panic!("wrong outcome kind");
+        };
+        assert_eq!(epochs.len(), 2);
+        assert_eq!(summary.epochs, 2);
+        assert_eq!(report.rounds, epochs.iter().map(|e| e.rounds).sum::<u64>());
+    }
+
+    #[test]
+    fn reports_are_deterministic_across_runs() {
+        let spec = ScenarioSpec::uniform("det", 7, 35, 2.5).workload(Workload::LocalBroadcast);
+        let a = Runner::new(spec.clone()).run_default();
+        let b = Runner::new(spec).run_default();
+        assert_eq!(a, b, "same spec, same report, byte for byte");
+    }
+
+    #[test]
+    fn run_on_a_prebuilt_network_equals_run() {
+        let spec = ScenarioSpec::uniform("prebuilt", 12, 30, 2.5);
+        let runner = Runner::new(spec);
+        let net = runner.build_network();
+        assert_eq!(
+            runner.run_on(net, &Workload::Clustering),
+            runner.run(&Workload::Clustering),
+            "caller-supplied deployment must be indistinguishable"
+        );
+    }
+
+    #[test]
+    fn epochs_zero_means_tier_sized() {
+        let base = ScenarioSpec::uniform("tier", 3, 20, 2.0).epochs(0);
+        for (tier, want) in [(Scale::Ci, 3), (Scale::Quick, 5), (Scale::Full, 8)] {
+            assert_eq!(Runner::new(base.clone().scale(tier)).epochs(), want);
+        }
+        assert_eq!(
+            Runner::new(base.epochs(7)).epochs(),
+            7,
+            "explicit epoch counts pass through untouched"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Golden-report determinism: the committed `scenarios/*.scn` files must
+//! parse, round-trip through the canonical text form, and produce
+//! byte-identical [`Report`]s (and renderings) across repeated runs —
+//! the same contract the `scenario_smoke` CI job gates on, enforced here
+//! at test time for every committed spec.
+
+use dcluster_scenario::{Runner, ScenarioSpec, Workload, WorkloadOutcome};
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
+    let mut out: Vec<(PathBuf, ScenarioSpec)> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ directory exists")
+        .filter_map(|e| {
+            let path = e.expect("readable dir entry").path();
+            (path.extension().is_some_and(|x| x == "scn")).then(|| {
+                let spec = ScenarioSpec::load(&path)
+                    .unwrap_or_else(|e| panic!("committed spec must parse: {e}"));
+                (path, spec)
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(out.len() >= 10, "the starter scenario library is committed");
+    out
+}
+
+#[test]
+fn every_committed_spec_round_trips_through_the_canonical_form() {
+    for (path, spec) in committed_specs() {
+        let reparsed = ScenarioSpec::parse(&spec.to_text())
+            .unwrap_or_else(|e| panic!("{}: canonical text must re-parse: {e}", path.display()));
+        assert_eq!(reparsed, spec, "{}: lossy text round-trip", path.display());
+    }
+}
+
+#[test]
+fn golden_ci_specs_produce_byte_identical_reports() {
+    // The two CI smoke specs run end-to-end twice; whole-report equality
+    // (not just headline numbers) is the determinism contract.
+    for name in ["ci_clustering.scn", "ci_maintenance.scn"] {
+        let runner = Runner::from_file(scenarios_dir().join(name)).expect("committed spec");
+        let first = runner.run_default();
+        let second = runner.run_default();
+        assert_eq!(first, second, "{name}: reports differ across reruns");
+        assert_eq!(
+            first.to_markdown(),
+            second.to_markdown(),
+            "{name}: renderings differ across reruns"
+        );
+        assert!(first.ok(), "{name}: workload must complete");
+    }
+}
+
+#[test]
+fn ci_maintenance_spec_is_resolver_invariant() {
+    // Protocol outcomes must not depend on the resolver backend: pinning
+    // each backend over the committed maintenance spec yields identical
+    // epoch structure (only the recorded backend tag differs).
+    let path = scenarios_dir().join("ci_maintenance.scn");
+    let run = |kind| {
+        let runner = Runner::from_file(&path)
+            .expect("committed spec")
+            .with_resolver_override(Some(kind));
+        let report = runner.run(&Workload::Maintenance);
+        let WorkloadOutcome::Maintenance { epochs, summary } = report.outcome else {
+            panic!("maintenance outcome expected");
+        };
+        (
+            epochs
+                .into_iter()
+                .map(|e| {
+                    (
+                        e.epoch,
+                        e.awake,
+                        e.rounds,
+                        e.clusters,
+                        e.re_elections,
+                        e.retained,
+                        e.coverage_violations,
+                    )
+                })
+                .collect::<Vec<_>>(),
+            summary,
+        )
+    };
+    let grid = run(dcluster_sim::ResolverKind::Grid);
+    let agg = run(dcluster_sim::ResolverKind::Aggregated);
+    assert_eq!(grid, agg, "backends must agree epoch by epoch");
+}
+
+#[test]
+fn spec_workload_lines_drive_run_default() {
+    for (path, spec) in committed_specs() {
+        let Some(w) = spec.workload.clone() else {
+            continue;
+        };
+        // Cheap structural check only: run_default executes the spec's own
+        // workload line (full runs are covered by the smoke binary).
+        assert_eq!(
+            Runner::new(spec).spec().workload.as_ref().map(|x| x.name()),
+            Some(w.name()),
+            "{}",
+            path.display()
+        );
+    }
+}

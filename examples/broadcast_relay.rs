@@ -8,9 +8,9 @@
 use dcluster::prelude::*;
 
 fn main() {
-    let mut rng = Rng64::new(77);
-    let pts = deploy::corridor_with_spine(40, 10.0, 1.2, 0.5, &mut rng);
-    let net = Network::builder(pts).build().expect("valid deployment");
+    let spec = ScenarioSpec::corridor("broadcast-relay", 77, 40, 10.0, 1.2, 0.5);
+    let runner = Runner::new(spec);
+    let net = runner.build_network();
     let d = net.comm_graph().diameter().expect("connected corridor");
     println!(
         "corridor: n = {}, D = {}, Δ = {}",
@@ -19,33 +19,39 @@ fn main() {
         net.max_degree()
     );
 
-    let params = ProtocolParams::practical();
-    let mut seeds = SeedSeq::new(params.seed);
-    let mut engine = Engine::from_env(&net);
     // Source: the left-most node.
     let source = (0..net.len())
         .min_by(|&a, &b| net.pos(a).x.partial_cmp(&net.pos(b).x).unwrap())
         .unwrap();
-    let out = global_broadcast(
-        &mut engine,
-        &params,
-        &mut seeds,
-        source,
-        net.density(),
-        0xBEEF,
+    let out = runner.run_on(
+        net.clone(),
+        &Workload::GlobalBroadcast {
+            source,
+            token: 0xBEEF,
+        },
     );
+    let WorkloadOutcome::GlobalBroadcast {
+        delivered_all,
+        local_broadcast_ok,
+        phases,
+        cluster_of,
+        ..
+    } = &out.outcome
+    else {
+        unreachable!("global workload returns a global outcome");
+    };
 
     println!("\nphase | newly awake | awake | rounds");
-    for p in &out.phases {
+    for p in phases {
         println!(
             "{:>5} | {:>11} | {:>5} | {:>6}",
             p.phase, p.newly_awake, p.awake_total, p.rounds
         );
     }
     println!("\ntotal rounds: {}", out.rounds);
-    assert!(out.delivered_all, "broadcast must reach the whole corridor");
+    assert!(delivered_all, "broadcast must reach the whole corridor");
     assert!(
-        out.local_broadcast_ok,
+        local_broadcast_ok,
         "every relay must also serve its own neighbors"
     );
 
@@ -54,9 +60,9 @@ fn main() {
     let buckets = 20usize;
     let max_x = (0..net.len()).map(|v| net.pos(v).x).fold(0.0f64, f64::max);
     let mut per_bucket: Vec<std::collections::HashSet<u64>> = vec![Default::default(); buckets];
-    for v in 0..net.len() {
+    for (v, c) in cluster_of.iter().enumerate() {
         let b = ((net.pos(v).x / (max_x + 1e-9)) * buckets as f64) as usize;
-        if let Some(c) = out.cluster_of[v] {
+        if let Some(c) = *c {
             per_bucket[b.min(buckets - 1)].insert(c);
         }
     }

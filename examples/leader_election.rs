@@ -1,6 +1,7 @@
 //! Wake-up + leader election (Theorems 4–5): scattered sensors activate
 //! spontaneously, wake the whole network, then elect a unique leader by
-//! binary search over ID ranges.
+//! binary search over ID ranges — both as Runner workloads over one
+//! scenario spec with a sparse shuffled ID space.
 //!
 //! ```sh
 //! cargo run --release --example leader_election
@@ -9,13 +10,11 @@
 use dcluster::prelude::*;
 
 fn main() {
-    let mut rng = Rng64::new(55);
-    let pts = deploy::corridor_with_spine(30, 6.0, 1.2, 0.5, &mut rng);
-    let net = Network::builder(pts)
-        .seed(3)
+    let spec = ScenarioSpec::corridor("leader-election", 55, 30, 6.0, 1.2, 0.5)
         .max_id(10_000)
-        .build()
-        .expect("valid deployment");
+        .id_seed(3);
+    let runner = Runner::new(spec);
+    let net = runner.build_network();
     println!(
         "network: n = {}, Δ = {}, N (ID space) = {}",
         net.len(),
@@ -24,33 +23,33 @@ fn main() {
     );
 
     // Theorem 4: three scattered nodes activate spontaneously.
-    let params = ProtocolParams::practical();
-    let mut seeds = SeedSeq::new(params.seed);
-    let mut engine = Engine::from_env(&net);
     let spontaneous = vec![0, net.len() / 2, net.len() - 1];
-    let w = wakeup(
-        &mut engine,
-        &params,
-        &mut seeds,
-        &spontaneous,
-        net.density(),
+    let w = runner.run_on(
+        net.clone(),
+        &Workload::Wakeup {
+            sources: spontaneous.clone(),
+        },
     );
+    let WorkloadOutcome::Wakeup { all_awake, centers } = w.outcome else {
+        unreachable!("wakeup workload returns a wakeup outcome");
+    };
     println!(
         "\nwake-up: {} spontaneous → everyone awake in {} rounds ({} centers)",
         spontaneous.len(),
         w.rounds,
-        w.centers
+        centers
     );
-    assert!(w.all_awake);
+    assert!(all_awake);
 
     // Theorem 5: leader election over the whole network.
-    let mut seeds2 = SeedSeq::new(params.seed);
-    let mut engine2 = Engine::from_env(&net);
-    let le = leader_election(&mut engine2, &params, &mut seeds2, net.density());
+    let le = runner.run_on(net.clone(), &Workload::LeaderElection);
+    let WorkloadOutcome::Leader { leader_id, probes } = le.outcome else {
+        unreachable!("leader workload returns a leader outcome");
+    };
     println!(
-        "leader election: id {} elected in {} rounds ({} binary-search probes)",
-        le.leader_id, le.rounds, le.probes
+        "leader election: id {leader_id} elected in {} rounds ({probes} binary-search probes)",
+        le.rounds
     );
-    let leader_idx = net.index_of(le.leader_id).expect("leader must exist");
+    let leader_idx = net.index_of(leader_id).expect("leader must exist");
     println!("leader position: {}", net.pos(leader_idx));
 }

@@ -1,5 +1,5 @@
-//! Quickstart: deploy a sensor field, run the paper's clustering, inspect
-//! the result.
+//! Quickstart: describe a sensor field as a scenario, run the paper's
+//! clustering through the unified Runner, inspect the result.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -8,11 +8,11 @@
 use dcluster::prelude::*;
 
 fn main() {
-    // 60 sensors dropped uniformly over a 4×4 area (range = 1).
-    let mut rng = Rng64::new(2024);
-    let net = Network::builder(deploy::uniform_square(60, 4.0, &mut rng))
-        .build()
-        .expect("valid deployment");
+    // 60 sensors dropped uniformly over a 4×4 area (range = 1) — the same
+    // spec could live in a `scenarios/*.scn` file (`spec.to_text()`).
+    let spec = ScenarioSpec::uniform("quickstart", 2024, 60, 4.0);
+    let runner = Runner::new(spec);
+    let net = runner.build_network();
     println!(
         "network: n = {}, density Γ = {}, max degree Δ = {}",
         net.len(),
@@ -20,19 +20,19 @@ fn main() {
         net.max_degree()
     );
 
-    // Theorem 1: deterministic 1-clustering, no randomness, no GPS.
-    let params = ProtocolParams::practical();
-    let mut seeds = SeedSeq::new(params.seed);
-    // Scale-aware default backend, overridable via DCLUSTER_RESOLVER —
-    // the same selection path the bench binaries use.
-    let mut engine = Engine::from_env(&net);
-    let all: Vec<usize> = (0..net.len()).collect();
-    let cl = clustering(&mut engine, &params, &mut seeds, &all, net.density());
-
-    let report = check_clustering(&net, &cl.cluster_of);
+    // Theorem 1: deterministic 1-clustering, no randomness, no GPS. The
+    // Runner picks the scale-aware default backend, overridable via
+    // DCLUSTER_RESOLVER — the same selection path the bench binaries use.
+    let out = runner.run_on(net.clone(), &Workload::Clustering);
+    let WorkloadOutcome::Clustering {
+        cluster_of, report, ..
+    } = &out.outcome
+    else {
+        unreachable!("clustering workload returns a clustering outcome");
+    };
     println!(
         "clustering: {} clusters in {} simulated rounds",
-        report.clusters, cl.rounds
+        report.clusters, out.rounds
     );
     println!(
         "  max radius            : {:.3}  (paper: ≤ 1)",
@@ -51,11 +51,8 @@ fn main() {
 
     // Show a few clusters.
     let mut by_cluster: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
-    for v in 0..net.len() {
-        by_cluster
-            .entry(cl.cluster_of[v].unwrap())
-            .or_default()
-            .push(v);
+    for (v, c) in cluster_of.iter().enumerate() {
+        by_cluster.entry(c.unwrap()).or_default().push(v);
     }
     for (c, members) in by_cluster.iter().take(5) {
         println!("  cluster {c}: {} nodes", members.len());

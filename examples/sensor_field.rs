@@ -3,8 +3,10 @@
 //! or environment monitoring").
 //!
 //! Every sensor must announce itself to all neighbors (local broadcast)
-//! with no infrastructure, no GPS, no randomness. Compares this work
-//! against the randomized and feedback baselines on the same field.
+//! with no infrastructure, no GPS, no randomness. The hotspot-heavy field
+//! is a layered scenario spec (clumps over a uniform background); this
+//! work runs through the Runner's local-broadcast workload, the
+//! randomized and feedback baselines on the identical deployment.
 //!
 //! ```sh
 //! cargo run --release --example sensor_field
@@ -15,10 +17,17 @@ use dcluster::prelude::*;
 
 fn main() {
     // A hotspot-heavy field: three dense sensor clumps plus background.
-    let mut rng = Rng64::new(33);
-    let mut pts = deploy::gaussian_clusters(3, 15, 0.25, 5.0, &mut rng);
-    pts.extend(deploy::uniform_square(40, 5.0, &mut rng));
-    let net = Network::builder(pts).build().expect("valid deployment");
+    let spec = ScenarioSpec::new("sensor-field", 33)
+        .layer(DeployLayer::Clumped {
+            centers: 3,
+            per: 15,
+            sigma: 0.25,
+            side: 5.0,
+        })
+        .layer(DeployLayer::Uniform { n: 40, side: 5.0 })
+        .workload(Workload::LocalBroadcast);
+    let runner = Runner::new(spec);
+    let net = runner.build_network();
     let delta = net.max_degree().max(1);
     println!(
         "sensor field: n = {}, Γ = {}, Δ = {}",
@@ -28,18 +37,21 @@ fn main() {
     );
 
     // This work: deterministic local broadcast (Theorem 2).
-    let params = ProtocolParams::practical();
-    let mut seeds = SeedSeq::new(params.seed);
-    let mut engine = Engine::from_env(&net);
-    let ours = local_broadcast(&mut engine, &params, &mut seeds, net.density());
+    let ours = runner.run_on(net.clone(), &Workload::LocalBroadcast);
+    let WorkloadOutcome::LocalBroadcast {
+        complete,
+        max_label,
+        clusters,
+        ..
+    } = ours.outcome
+    else {
+        unreachable!("local workload returns a local outcome");
+    };
     println!(
-        "\nTHIS WORK  : {} rounds, complete = {}, labels ≤ {}, clusters = {}",
+        "\nTHIS WORK  : {} rounds, complete = {complete}, labels ≤ {max_label}, clusters = {clusters}",
         ours.rounds,
-        ours.complete,
-        ours.labeling.max_label(),
-        ours.clustering.centers.len()
     );
-    assert!(ours.complete);
+    assert!(complete);
 
     // Randomized baseline (needs Δ and a random tape).
     let gmw = local::gmw_known_delta(&net, delta, 7, 5_000_000);

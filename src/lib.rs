@@ -16,6 +16,8 @@
 //! * [`core`] — the paper's algorithms (clustering, broadcasts, …).
 //! * [`dynamics`] — mobility, churn and heterogeneous power: seeded
 //!   scenario engine with incremental world updates.
+//! * [`scenario`] — declarative workload specs (`scenarios/*.scn`) and
+//!   the unified [`prelude::Runner`] every experiment driver uses.
 //! * [`baselines`] — Tables 1–2 competitor algorithms.
 //! * [`lowerbound`] — Theorem 6 gadgets and the Lemma 13 adversary.
 //!
@@ -24,23 +26,19 @@
 //! ```
 //! use dcluster::prelude::*;
 //!
-//! // Deploy 40 sensors uniformly on a 3×3 field.
-//! let mut rng = Rng64::new(7);
-//! let net = Network::builder(deploy::uniform_square(40, 3.0, &mut rng))
-//!     .build()
-//!     .expect("valid deployment");
+//! // Describe the workload: 40 sensors uniform on a 3×3 field. The same
+//! // spec can be parsed from / written to a `scenarios/*.scn` file.
+//! let spec = ScenarioSpec::uniform("quickstart", 7, 40, 3.0);
 //!
-//! // Run the paper's Theorem 1 clustering.
-//! let params = ProtocolParams::practical();
-//! let mut seeds = SeedSeq::new(params.seed);
-//! let mut engine = Engine::new(&net);
-//! let all: Vec<usize> = (0..net.len()).collect();
-//! let clusters = clustering(&mut engine, &params, &mut seeds, &all, net.density());
+//! // Run the paper's Theorem 1 clustering through the unified Runner.
+//! let report = Runner::new(spec).run(&Workload::Clustering);
 //!
 //! // Every node is in a cluster of radius ≤ 1 (the transmission range).
-//! let report = check_clustering(&net, &clusters.cluster_of);
-//! assert_eq!(report.unassigned, 0);
-//! assert!(report.max_radius <= 1.0);
+//! let WorkloadOutcome::Clustering { report: quality, .. } = &report.outcome else {
+//!     unreachable!();
+//! };
+//! assert_eq!(quality.unassigned, 0);
+//! assert!(quality.max_radius <= 1.0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -50,6 +48,7 @@ pub use dcluster_baselines as baselines;
 pub use dcluster_core as core;
 pub use dcluster_dynamics as dynamics;
 pub use dcluster_lowerbound as lowerbound;
+pub use dcluster_scenario as scenario;
 pub use dcluster_selectors as selectors;
 pub use dcluster_sim as sim;
 
@@ -64,6 +63,10 @@ pub mod prelude {
     pub use dcluster_core::wakeup::wakeup;
     pub use dcluster_core::{Msg, ProtocolParams, SeedSeq, Stack, UnitTrace};
     pub use dcluster_dynamics::{Churn, DynamicsModel, MobilityKind, World, WorldUpdate};
+    pub use dcluster_scenario::{
+        DeployLayer, DeploySpec, DynamicsSpec, Report, Runner, Scale, ScenarioSpec, SpecError,
+        Workload, WorkloadOutcome,
+    };
     pub use dcluster_sim::rng::Rng64;
     pub use dcluster_sim::{
         deploy, Engine, Network, Point, ResolverKind, SinrParams, SinrResolver,
