@@ -126,7 +126,8 @@ fn spec_for(sc: Scenario, n: usize, epochs: u64) -> ScenarioSpec {
 fn run_scenario(spec: &ScenarioSpec, kind: ResolverKind) -> Vec<EpochReport> {
     let report = Runner::new(spec.clone())
         .with_resolver_override(Some(kind))
-        .run(&Workload::Maintenance);
+        .run(&Workload::Maintenance)
+        .expect("sweep spec is valid");
     let WorkloadOutcome::Maintenance { epochs, .. } = report.outcome else {
         unreachable!("maintenance workload returns a maintenance outcome");
     };
@@ -154,7 +155,8 @@ fn scaling_sweep(ns: &[usize], epochs: u64) -> Vec<ScalingRow> {
             n,
             side,
         ))
-        .build_network();
+        .build_network()
+        .expect("sweep spec is valid");
         let mut world = World::new(net);
         // 1% movers: the sparse regime incremental maintenance targets.
         let mut model = MobilityKind::Waypoint

@@ -21,11 +21,13 @@ fn main() {
     for (i, &delta) in [6usize, 12].iter().enumerate() {
         let spec = ScenarioSpec::degree(format!("energy-d{delta}"), 650 + i as u64, 70, delta);
         let runner = Runner::new(spec).with_resolver_override(resolver_override());
-        let net = runner.build_network();
+        let net = runner.build_network().expect("sweep spec is valid");
         let d_real = net.max_degree().max(1);
         let cap = 3_000_000;
 
-        let ours = runner.run_on(net.clone(), &Workload::LocalBroadcast);
+        let ours = runner
+            .run_on(net.clone(), &Workload::LocalBroadcast)
+            .expect("sweep spec is valid");
         let WorkloadOutcome::LocalBroadcast { complete, .. } = ours.outcome else {
             unreachable!("local workload returns a local outcome");
         };

@@ -27,7 +27,9 @@ fn main() {
     };
     let mut rows: Vec<Vec<String>> = Vec::new();
     for spec in specs {
-        let net = Runner::new(spec).build_network();
+        let net = Runner::new(spec)
+            .build_network()
+            .expect("sweep spec is valid");
         let d = net.comm_graph().diameter().unwrap_or(0);
         let delta = net.max_degree().max(2);
         let cap = 5_000_000;

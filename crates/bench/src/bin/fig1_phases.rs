@@ -42,12 +42,12 @@ fn main() {
         return;
     }
     let runner = Runner::new(fig1_spec()).with_resolver_override(resolver_override());
-    let net = runner.build_network();
+    let net = runner.build_network().expect("sweep spec is valid");
     assert!(
         net.comm_graph().is_connected(),
         "workload must be connected"
     );
-    let out = runner.run_on(net, &workload);
+    let out = runner.run_on(net, &workload).expect("sweep spec is valid");
     let WorkloadOutcome::GlobalBroadcast {
         delivered_all,
         phases,

@@ -28,9 +28,9 @@ fn main() {
         let params = spec.params;
         kappa = params.kappa;
         let runner = Runner::new(spec).with_resolver_override(resolver_override());
-        let net = runner.build_network();
+        let net = runner.build_network().expect("sweep spec is valid");
         let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = runner.engine(&net);
+        let mut engine = runner.engine(&net).expect("sweep spec is valid");
         let members: Vec<usize> = (0..net.len()).collect();
         let p = build_proximity_graph(
             &mut engine,

@@ -26,9 +26,9 @@ fn main() {
             .unwrap_or_else(|| ScenarioSpec::uniform(format!("fig3-{seed}"), seed, 60, 1.8));
         let params = spec.params;
         let runner = Runner::new(spec).with_resolver_override(resolver_override());
-        let net = runner.build_network();
+        let net = runner.build_network().expect("sweep spec is valid");
         let mut seeds = SeedSeq::new(params.seed);
-        let mut engine = runner.engine(&net);
+        let mut engine = runner.engine(&net).expect("sweep spec is valid");
         let all: Vec<usize> = (0..net.len()).collect();
         let gamma = net.density();
         let clusters = vec![1u64; net.len()];

@@ -15,9 +15,9 @@ fn main() {
         scenario_override().unwrap_or_else(|| ScenarioSpec::uniform("fig4-levels", 44, 70, 1.6));
     let params = spec.params;
     let runner = Runner::new(spec).with_resolver_override(resolver_override());
-    let net = runner.build_network();
+    let net = runner.build_network().expect("sweep spec is valid");
     let mut seeds = SeedSeq::new(params.seed);
-    let mut engine = runner.engine(&net);
+    let mut engine = runner.engine(&net).expect("sweep spec is valid");
     let all: Vec<usize> = (0..net.len()).collect();
     let gamma = net.density();
     let clusters = vec![1u64; net.len()];

@@ -1,17 +1,30 @@
-//! **Resolver scaling sweep** — wall clock and agreement of the three
+//! **Resolver scaling sweep** — wall clock and agreement of the four
 //! SINR resolver backends on uniform deployments, up to 10⁵ nodes.
 //!
-//! The sweep resolves a fixed number of rounds (deterministic rotating
-//! transmitter sets at two densities) per backend per network size,
-//! records wall clock, and audits that every backend returns identical
-//! receptions (the naive oracle joins the audit only at sizes where its
-//! `O(n·|T|)` cost stays reasonable).
+//! Two sweep modes per network size:
+//!
+//! * **rotate** — deterministic rotating transmitter sets at two
+//!   densities: consecutive rounds are unrelated, so every backend
+//!   (including the persistent ones, whose sparse-patch heuristic bails
+//!   to a rebuild on large diffs) pays the full per-round field cost;
+//! * **evolve** — a saturated membership set (99.95% transmit — the
+//!   busy-tone/wake-up-storm regime, where the round cost *is* the
+//!   interference field) churned by ~0.01% of the nodes per round: the
+//!   persistent backends patch the cached field with the sparse diff
+//!   instead of rebuilding it, and the per-round speedup over
+//!   rebuild-from-scratch `aggregated` is recorded (the ROADMAP's ≥2×
+//!   target at 10⁵ nodes).
+//!
+//! Both modes audit that every backend returns identical receptions
+//! (the naive oracle joins only at sizes where its `O(n·|T|)` cost stays
+//! reasonable); the audit reuses one resolver instance per backend
+//! across rounds, so the persistent patch path is what gets audited.
 //!
 //! Scale tiers (`DCLUSTER_SCALE`):
 //!
 //! * `ci` — n up to ≈2·10³; additionally acts as the CI gate: exits
-//!   non-zero if `aggregated` disagrees with `grid` anywhere or its total
-//!   wall clock regresses to more than 2× of `grid`'s.
+//!   non-zero if any backend disagrees anywhere or `aggregated`'s total
+//!   rotate-mode wall clock regresses to more than 2× of `grid`'s.
 //! * `quick` (default) — n up to 2·10⁴.
 //! * `full` — n up to 10⁵ (the ROADMAP scale target).
 //!
@@ -32,14 +45,37 @@ use std::time::Instant;
 const ROUNDS: usize = 8;
 /// Naive oracle joins the audit only up to this size.
 const NAIVE_CAP: usize = 4_000;
+/// Transmit fraction of the evolve mode (saturated: almost everyone
+/// transmits, so per-round cost is dominated by the interference field,
+/// which the persistent backends patch instead of rebuilding).
+const EVOLVE_FRAC: f64 = 0.9995;
+/// Fraction of nodes whose membership flips per evolve round. Kept
+/// sparse (0.01%) so churn does not accumulate a listener pool across
+/// rounds — the regime stays saturated and the field cost dominant.
+const EVOLVE_CHURN: f64 = 0.000_1;
 
 struct Row {
+    mode: &'static str,
     n: usize,
     tx_frac: f64,
     tx_avg: usize,
     kind: ResolverKind,
     millis: f64,
     receptions: u64,
+}
+
+/// Times `ROUNDS` resolves of `tx_sets` through one persistent resolver
+/// instance (so the backend's cross-round state — if any — is in play).
+fn time_kind(net: &Network, kind: ResolverKind, tx_sets: &[Vec<usize>]) -> (f64, u64) {
+    let mut resolver = kind.build();
+    let mut out = Vec::new();
+    let mut receptions = 0u64;
+    let start = Instant::now();
+    for tx in tx_sets {
+        resolver.resolve_into(net, tx, &mut out);
+        receptions += out.len() as u64;
+    }
+    (start.elapsed().as_secs_f64() * 1e3, receptions)
 }
 
 fn main() {
@@ -66,8 +102,12 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut disagreements = 0u32;
     for spec in specs {
-        let net: Network = Runner::new(spec).build_network();
+        let net: Network = Runner::new(spec)
+            .build_network()
+            .expect("sweep spec is valid");
         let n = net.len();
+
+        // Mode 1: rotating, unrelated transmitter sets.
         for &frac in &tx_fracs {
             // Deterministic rotating transmitter sets: round r transmits the
             // nodes whose (index + r·stride) hashes under the fraction.
@@ -79,7 +119,11 @@ fn main() {
                 .collect();
             let tx_avg = tx_sets.iter().map(Vec::len).sum::<usize>() / ROUNDS;
 
-            let mut audited: Vec<ResolverKind> = vec![ResolverKind::Grid, ResolverKind::Aggregated];
+            let mut audited: Vec<ResolverKind> = vec![
+                ResolverKind::Grid,
+                ResolverKind::Aggregated,
+                ResolverKind::Parallel,
+            ];
             if n <= NAIVE_CAP {
                 audited.insert(0, ResolverKind::Naive);
             }
@@ -97,16 +141,9 @@ fn main() {
             }
 
             for kind in audited {
-                let mut resolver = kind.build();
-                let mut out = Vec::new();
-                let mut receptions = 0u64;
-                let start = Instant::now();
-                for tx in &tx_sets {
-                    resolver.resolve_into(&net, tx, &mut out);
-                    receptions += out.len() as u64;
-                }
-                let millis = start.elapsed().as_secs_f64() * 1e3;
+                let (millis, receptions) = time_kind(&net, kind, &tx_sets);
                 rows.push(Row {
+                    mode: "rotate",
                     n,
                     tx_frac: frac,
                     tx_avg,
@@ -115,7 +152,68 @@ fn main() {
                     receptions,
                 });
             }
-            eprintln!("done: n={n}, tx_frac={frac}");
+            eprintln!("done: n={n}, tx_frac={frac} (rotate)");
+        }
+
+        // Mode 2: saturated membership with sparse churn — the persistent
+        // backends patch the cached field instead of rebuilding it.
+        {
+            let mut rng = Rng64::new(0xE01_5E7 ^ n as u64);
+            let mut member: Vec<bool> = (0..n).map(|_| rng.chance(EVOLVE_FRAC)).collect();
+            let flips = ((n as f64 * EVOLVE_CHURN) as usize).max(1);
+            let tx_sets: Vec<Vec<usize>> = (0..ROUNDS)
+                .map(|_| {
+                    for _ in 0..flips {
+                        let v = rng.range_usize(n);
+                        member[v] = !member[v];
+                    }
+                    (0..n).filter(|&v| member[v]).collect()
+                })
+                .collect();
+            let tx_avg = tx_sets.iter().map(Vec::len).sum::<usize>() / ROUNDS;
+
+            // Grid is pathological at dense |T| and large n; the oracle of
+            // this mode is `aggregated` (itself audited against naive and
+            // grid in rotate mode and at small n here).
+            let mut audited: Vec<ResolverKind> =
+                vec![ResolverKind::Aggregated, ResolverKind::Parallel];
+            if n <= NAIVE_CAP {
+                audited.insert(0, ResolverKind::Naive);
+            }
+            if let Some(d) = audit_resolver_equivalence(&net, &tx_sets, &audited) {
+                disagreements += 1;
+                eprintln!(
+                    "DISAGREEMENT at n={n} (evolve): {} vs {} in audited round {} \
+                     ({} vs {} receptions)",
+                    d.disagreeing,
+                    d.reference,
+                    d.round,
+                    d.got.len(),
+                    d.expected.len()
+                );
+            }
+
+            let mut timed = std::collections::HashMap::new();
+            for kind in [ResolverKind::Aggregated, ResolverKind::Parallel] {
+                let (millis, receptions) = time_kind(&net, kind, &tx_sets);
+                timed.insert(kind, millis);
+                rows.push(Row {
+                    mode: "evolve",
+                    n,
+                    tx_frac: EVOLVE_FRAC,
+                    tx_avg,
+                    kind,
+                    millis,
+                    receptions,
+                });
+            }
+            let agg = timed[&ResolverKind::Aggregated];
+            let par = timed[&ResolverKind::Parallel];
+            eprintln!(
+                "done: n={n} (evolve): aggregated(rebuild) {agg:.1} ms, \
+                 parallel(persistent) {par:.1} ms, speedup {:.2}x",
+                agg / par.max(1e-9)
+            );
         }
     }
 
@@ -123,6 +221,7 @@ fn main() {
         .iter()
         .map(|r| {
             vec![
+                r.mode.to_string(),
                 r.n.to_string(),
                 format!("{:.2}", r.tx_frac),
                 r.tx_avg.to_string(),
@@ -133,6 +232,7 @@ fn main() {
         })
         .collect();
     let headers = [
+        "mode",
         "n",
         "tx_frac",
         "tx_avg",
@@ -148,7 +248,8 @@ fn main() {
     write_csv("scale_resolvers", &headers, &table);
     write_json(&rows, tier);
 
-    // CI gate: exact agreement plus bounded regression of the new backend.
+    // CI gate: exact agreement plus bounded regression of the newer
+    // backends (rotate mode only: grid runs no evolve rounds).
     if disagreements > 0 {
         eprintln!("FAIL: {disagreements} resolver disagreement(s)");
         std::process::exit(1);
@@ -156,7 +257,7 @@ fn main() {
     if tier == Scale::Ci {
         let total = |k: ResolverKind| -> f64 {
             rows.iter()
-                .filter(|r| r.kind == k)
+                .filter(|r| r.kind == k && r.mode == "rotate")
                 .map(|r| r.millis)
                 .sum::<f64>()
         };
@@ -173,7 +274,7 @@ fn main() {
 }
 
 /// Writes the committed reference-number artifact (schema: one object per
-/// (n, tx_frac, resolver) with total milliseconds over the rounds).
+/// (mode, n, tx_frac, resolver) with total milliseconds over the rounds).
 fn write_json(rows: &[Row], tier: Scale) {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -181,7 +282,8 @@ fn write_json(rows: &[Row], tier: Scale) {
     ));
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"n\": {}, \"tx_frac\": {}, \"tx_avg\": {}, \"resolver\": \"{}\", \"ms_total\": {:.3}, \"receptions\": {}}}{}\n",
+            "    {{\"mode\": \"{}\", \"n\": {}, \"tx_frac\": {}, \"tx_avg\": {}, \"resolver\": \"{}\", \"ms_total\": {:.3}, \"receptions\": {}}}{}\n",
+            r.mode,
             r.n,
             r.tx_frac,
             r.tx_avg,

@@ -45,8 +45,8 @@ fn main() {
             }
         }
         let runner = Runner::new(spec).with_resolver_override(resolver_override());
-        let first = runner.run_default();
-        let second = runner.run_default();
+        let first = runner.run_default().expect("committed spec runs");
+        let second = runner.run_default().expect("committed spec runs");
         first.print();
         if first != second {
             eprintln!(

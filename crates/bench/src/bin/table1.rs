@@ -54,7 +54,9 @@ fn main() {
     // views of the same execution.
     let mut ours: Vec<(u64, u64)> = Vec::new();
     for (di, &delta) in deltas.iter().enumerate() {
-        let report = runner_for(delta, di).run(&Workload::LocalBroadcast);
+        let report = runner_for(delta, di)
+            .run(&Workload::LocalBroadcast)
+            .expect("sweep spec is valid");
         let WorkloadOutcome::LocalBroadcast {
             complete,
             sweep_rounds,
@@ -71,7 +73,9 @@ fn main() {
     for (ai, name) in algos.iter().enumerate() {
         let mut row = vec![name.to_string()];
         for (di, &delta) in deltas.iter().enumerate() {
-            let net = runner_for(delta, di).build_network();
+            let net = runner_for(delta, di)
+                .build_network()
+                .expect("sweep spec is valid");
             let d_real = net.max_degree().max(1);
             let rounds = match ai {
                 0 => local::gmw_known_delta(&net, d_real, 7, cap).rounds,

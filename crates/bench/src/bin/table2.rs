@@ -63,7 +63,7 @@ fn main() {
     let nets: Vec<(dcluster_sim::Network, u32)> = runners
         .iter()
         .map(|r| {
-            let net = r.build_network();
+            let net = r.build_network().expect("sweep spec is valid");
             let d = net.comm_graph().diameter().unwrap_or(0);
             (net, d)
         })
@@ -82,13 +82,15 @@ fn main() {
                 2 => global::round_robin_flood(net, 0, cap).rounds,
                 3 => global::ssf_flood(net, 0, delta, 0.1, cap).rounds,
                 _ => {
-                    let report = runners[i].run_on(
-                        net.clone(),
-                        &Workload::GlobalBroadcast {
-                            source: 0,
-                            token: 1,
-                        },
-                    );
+                    let report = runners[i]
+                        .run_on(
+                            net.clone(),
+                            &Workload::GlobalBroadcast {
+                                source: 0,
+                                token: 1,
+                            },
+                        )
+                        .expect("sweep spec is valid");
                     let WorkloadOutcome::GlobalBroadcast { delivered_all, .. } = report.outcome
                     else {
                         unreachable!("global workload returns a global outcome");

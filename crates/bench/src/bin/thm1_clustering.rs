@@ -26,7 +26,8 @@ fn main() {
         let spec = ScenarioSpec::degree(format!("thm1-d{delta}"), 700 + i as u64, n, delta);
         let out = Runner::new(spec)
             .with_resolver_override(resolver_override())
-            .run(&Workload::Clustering);
+            .run(&Workload::Clustering)
+            .expect("sweep spec is valid");
         let WorkloadOutcome::Clustering { report: rep, .. } = &out.outcome else {
             unreachable!("clustering workload returns a clustering outcome");
         };

@@ -27,7 +27,8 @@ fn main() {
         let spec = ScenarioSpec::degree(format!("thm2-d{delta}"), 300 + i as u64, 70, delta);
         let out = Runner::new(spec)
             .with_resolver_override(resolver_override())
-            .run(&Workload::LocalBroadcast);
+            .run(&Workload::LocalBroadcast)
+            .expect("sweep spec is valid");
         let WorkloadOutcome::LocalBroadcast { complete, .. } = out.outcome else {
             unreachable!("local workload returns a local outcome");
         };
@@ -59,15 +60,17 @@ fn main() {
         let spec =
             ScenarioSpec::corridor(format!("thm3-len{len}"), 400 + i as u64, n, len, 1.2, 0.5);
         let runner = Runner::new(spec).with_resolver_override(resolver_override());
-        let net = runner.build_network();
+        let net = runner.build_network().expect("sweep spec is valid");
         let d = net.comm_graph().diameter().unwrap_or(1).max(1);
-        let out = runner.run_on(
-            net,
-            &Workload::GlobalBroadcast {
-                source: 0,
-                token: 1,
-            },
-        );
+        let out = runner
+            .run_on(
+                net,
+                &Workload::GlobalBroadcast {
+                    source: 0,
+                    token: 1,
+                },
+            )
+            .expect("sweep spec is valid");
         let WorkloadOutcome::GlobalBroadcast {
             delivered_all,
             phases,

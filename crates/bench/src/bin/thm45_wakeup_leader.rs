@@ -20,11 +20,13 @@ fn main() {
         let spec =
             ScenarioSpec::corridor(format!("thm45-len{len}"), 800 + i as u64, n, len, 1.2, 0.5);
         let runner = Runner::new(spec).with_resolver_override(resolver_override());
-        let net = runner.build_network();
+        let net = runner.build_network().expect("sweep spec is valid");
         let d = net.comm_graph().diameter().unwrap_or(0);
 
         // Theorem 4: wake-up from a single spontaneous node.
-        let w = runner.run_on(net.clone(), &Workload::Wakeup { sources: vec![0] });
+        let w = runner
+            .run_on(net.clone(), &Workload::Wakeup { sources: vec![0] })
+            .expect("sweep spec is valid");
         let WorkloadOutcome::Wakeup { all_awake, .. } = w.outcome else {
             unreachable!("wakeup workload returns a wakeup outcome");
         };
@@ -32,14 +34,18 @@ fn main() {
 
         // Theorem 4: wake-up from scattered spontaneous nodes.
         let spont: Vec<usize> = (0..net.len()).step_by(5).collect();
-        let w2 = runner.run_on(net.clone(), &Workload::Wakeup { sources: spont });
+        let w2 = runner
+            .run_on(net.clone(), &Workload::Wakeup { sources: spont })
+            .expect("sweep spec is valid");
         let WorkloadOutcome::Wakeup { all_awake, .. } = w2.outcome else {
             unreachable!("wakeup workload returns a wakeup outcome");
         };
         assert!(all_awake);
 
         // Theorem 5: leader election.
-        let le = runner.run_on(net.clone(), &Workload::LeaderElection);
+        let le = runner
+            .run_on(net.clone(), &Workload::LeaderElection)
+            .expect("sweep spec is valid");
         let WorkloadOutcome::Leader { leader_id, probes } = le.outcome else {
             unreachable!("leader workload returns a leader outcome");
         };

@@ -35,22 +35,34 @@ pub use dcluster_scenario::{
     EPOCH_HEADERS,
 };
 
+/// Prints a harness-level error and exits with status 1 — for CLI/env
+/// mistakes, which should read as diagnostics, not panics with backtraces.
+pub fn or_exit<T>(result: Result<T, impl std::fmt::Display>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// The `--resolver=KIND` / `--resolver KIND` CLI flag alone (no env
-/// fallback). Unknown kinds abort with the parse error (a typo must not
-/// silently fall back).
+/// fallback). Unknown kinds exit with the parse error, which lists every
+/// valid backend (a typo must not silently fall back).
 pub fn resolver_flag() -> Option<dcluster_sim::ResolverKind> {
-    flag_value("--resolver").map(|v| match v.parse::<dcluster_sim::ResolverKind>() {
-        Ok(kind) => kind,
-        Err(e) => panic!("--resolver: {e}"),
+    flag_value("--resolver").map(|v| {
+        or_exit(
+            v.parse::<dcluster_sim::ResolverKind>()
+                .map_err(|e| format!("--resolver: {e}")),
+        )
     })
 }
 
 /// Resolver backend override for the harness binaries: the `--resolver`
 /// flag, else the `DCLUSTER_RESOLVER` env var; `None` means "use the
-/// network's scale-aware default".
+/// network's scale-aware default". Invalid values in either place exit
+/// with an error naming the valid backends.
 pub fn resolver_override() -> Option<dcluster_sim::ResolverKind> {
     // Same env fallback the examples use (`Runner::resolver_for`).
-    resolver_flag().or_else(dcluster_sim::ResolverKind::from_env)
+    resolver_flag().or_else(|| or_exit(dcluster_sim::ResolverKind::from_env()))
 }
 
 /// A `--flag value` / `--flag=value` string option from the command line
@@ -95,7 +107,7 @@ pub fn run_scenario_flag(default: Workload) -> bool {
     // Flag-only override: a spec's pinned `resolver` line outranks the
     // ambient DCLUSTER_RESOLVER env, but never an explicit flag.
     let runner = Runner::new(spec).with_resolver_override(resolver_flag());
-    let report = runner.run(&workload);
+    let report = or_exit(runner.run(&workload));
     report.print();
     report.write_csv();
     if !report.ok() {
@@ -111,7 +123,7 @@ mod tests {
 
     #[test]
     fn connected_deployment_is_connected() {
-        let net = connected_deployment(60, 8, 3);
+        let net = connected_deployment(60, 8, 3).unwrap();
         assert!(net.comm_graph().is_connected());
         assert_eq!(net.len(), 60);
     }
@@ -131,8 +143,8 @@ mod tests {
     fn runner_built_engine_matches_the_scale_aware_default() {
         let spec = ScenarioSpec::degree("t", 11, 40, 6);
         let runner = Runner::new(spec);
-        let net = runner.build_network();
-        let engine = runner.engine(&net);
+        let net = runner.build_network().unwrap();
+        let engine = runner.engine(&net).unwrap();
         assert_eq!(engine.round(), 0);
         assert_eq!(engine.resolver_kind(), net.default_resolver());
     }

@@ -250,7 +250,7 @@ mod tests {
         assert_eq!(
             audit_resolver_equivalence(&net, &rounds, &ResolverKind::ALL),
             None,
-            "the three backends must agree on every audited round"
+            "every backend must agree on every audited round"
         );
         assert_eq!(
             audit_resolver_equivalence(&net, &rounds, &[]),

@@ -77,7 +77,11 @@ proptest! {
         }
         // Cross-backend agreement still holds on the evolved world.
         let naive = resolve_all(world.network(), &tx, ResolverKind::Naive);
-        for kind in [ResolverKind::Grid, ResolverKind::Aggregated] {
+        for kind in [
+            ResolverKind::Grid,
+            ResolverKind::Aggregated,
+            ResolverKind::Parallel,
+        ] {
             let got = resolve_all(world.network(), &tx, kind);
             for (round, (a, b)) in naive.iter().zip(&got).enumerate() {
                 let mut a = a.clone();

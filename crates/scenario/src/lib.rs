@@ -28,7 +28,7 @@
 //!     "scenario demo\nseed 7\ndeploy uniform n=40 side=3.0\nworkload clustering\n",
 //! )
 //! .expect("valid spec");
-//! let report = Runner::new(spec).run_default();
+//! let report = Runner::new(spec).run_default().expect("spec deploys fine");
 //! assert!(report.ok(), "every node ends up in a cluster");
 //! assert_eq!(report.workload, "clustering");
 //! ```

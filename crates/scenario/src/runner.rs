@@ -31,20 +31,25 @@ use dcluster_core::wakeup::wakeup;
 use dcluster_core::SeedSeq;
 use dcluster_dynamics::{Churn, DynamicsModel, GroupDrift, RandomWalk, RandomWaypoint, World};
 use dcluster_sim::rng::Rng64;
-use dcluster_sim::{deploy, Engine, Network, Point, ResolverKind, SinrParams};
+use dcluster_sim::{deploy, Engine, Network, NetworkError, Point, ResolverKind, SinrParams};
 
 /// Builds a connected uniform deployment targeting max degree ≈ `delta`
 /// with `n` nodes, retrying seeds until the communication graph is
 /// connected (falling back to a spined corridor, which always is). The
 /// deterministic deployment behind [`DeployLayer::Degree`].
-pub fn connected_deployment(n: usize, delta: usize, seed: u64) -> Network {
+///
+/// # Errors
+///
+/// Returns [`NetworkError::Empty`] when `n == 0` — callers get a proper
+/// error to attach context to instead of a panic deep inside the builder.
+pub fn connected_deployment(n: usize, delta: usize, seed: u64) -> Result<Network, NetworkError> {
     let comm_r = SinrParams::default().comm_radius();
     for attempt in 0..50 {
         let mut rng = Rng64::new(seed + attempt * 1000);
         let pts = deploy::uniform_with_target_degree(n, delta, comm_r, &mut rng);
-        let net = Network::builder(pts).build().expect("nonempty");
+        let net = Network::builder(pts).build()?;
         if net.comm_graph().is_connected() {
-            return net;
+            return Ok(net);
         }
     }
     // Fall back to a spined corridor (always connected).
@@ -56,7 +61,32 @@ pub fn connected_deployment(n: usize, delta: usize, seed: u64) -> Network {
         0.5,
         &mut rng,
     );
-    Network::builder(pts).build().expect("nonempty")
+    Network::builder(pts).build()
+}
+
+/// The resolver-selection precedence used everywhere, as a pure function
+/// (testable without touching process environment): explicit override
+/// (CLI `--resolver`) → the spec's `resolver` line → the
+/// `DCLUSTER_RESOLVER` environment value → the scale-aware default.
+///
+/// # Errors
+///
+/// When the decision falls through to `env_value` and it does not parse,
+/// returns the parse error (which names every valid backend) — a typo in
+/// the environment must never silently fall back to the default.
+pub fn resolver_precedence(
+    override_kind: Option<ResolverKind>,
+    spec_kind: Option<ResolverKind>,
+    env_value: Option<&str>,
+    default: ResolverKind,
+) -> Result<ResolverKind, String> {
+    if let Some(kind) = override_kind.or(spec_kind) {
+        return Ok(kind);
+    }
+    match env_value {
+        Some(v) => v.parse().map_err(|e| format!("DCLUSTER_RESOLVER: {e}")),
+        None => Ok(default),
+    }
 }
 
 /// The axis-aligned bounding box `[0, w]×[0, h]` the dynamics models
@@ -114,15 +144,26 @@ impl Runner {
     /// Realizes the deployment: layers over one shared RNG, then the
     /// heterogeneous-power profile (`dynamics het_power`) and ID-space
     /// settings. Deterministic in the spec.
-    pub fn build_network(&self) -> Network {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending spec section when the
+    /// deployment layers realize to zero points (e.g. every layer has
+    /// `n=0`) or the ID settings are inconsistent with the node count.
+    pub fn build_network(&self) -> Result<Network, SpecError> {
         let layers = &self.spec.deploy.layers;
-        assert!(!layers.is_empty(), "spec has no deploy layer");
+        if layers.is_empty() {
+            return Err(SpecError {
+                line: 0,
+                msg: "deploy section: spec has no deploy layer".into(),
+            });
+        }
         let base = if let [DeployLayer::Degree { n, delta }] = layers[..] {
-            self.with_id_settings(
-                connected_deployment(n, delta, self.spec.seed)
-                    .points()
-                    .to_vec(),
-            )
+            let net = connected_deployment(n, delta, self.spec.seed).map_err(|e| SpecError {
+                line: 0,
+                msg: format!("deploy degree section (n={n} delta={delta}): {e}"),
+            })?;
+            self.with_id_settings(net.points().to_vec())?
         } else {
             let mut rng = Rng64::new(self.spec.seed);
             let mut pts: Vec<Point> = Vec::new();
@@ -162,19 +203,20 @@ impl Runner {
                     DeployLayer::Ring { n, radius } => pts.extend(deploy::ring(n, radius)),
                 }
             }
-            self.with_id_settings(pts)
+            self.with_id_settings(pts)?
         };
         // Heterogeneous power applies after deployment, exactly like the
         // historical drivers (sub-seed `seed ^ 3`).
-        self.spec.dynamics.iter().fold(base, |net, d| match *d {
+        Ok(self.spec.dynamics.iter().fold(base, |net, d| match *d {
             DynamicsSpec::HetPower { spread } => {
                 dcluster_dynamics::with_power_profile(&net, spread, self.spec.seed ^ 3)
             }
             _ => net,
-        })
+        }))
     }
 
-    fn with_id_settings(&self, pts: Vec<Point>) -> Network {
+    fn with_id_settings(&self, pts: Vec<Point>) -> Result<Network, SpecError> {
+        let n = pts.len();
         let mut b = Network::builder(pts);
         if let Some(m) = self.spec.max_id {
             b = b.max_id(m);
@@ -182,25 +224,40 @@ impl Runner {
         if let Some(s) = self.spec.id_seed {
             b = b.seed(s);
         }
-        b.build().expect("spec deployments are nonempty")
+        b.build().map_err(|e| SpecError {
+            line: 0,
+            msg: format!("deploy section realized {n} nodes: {e}"),
+        })
     }
 
-    /// The backend every engine of this run uses. Precedence: explicit
-    /// override (CLI `--resolver`) → the spec's `resolver` line →
-    /// `DCLUSTER_RESOLVER` env → the network's scale-aware default. A
-    /// spec that pins its backend beats ambient machine state, so
-    /// committed `.scn` files run environment-independently.
-    pub fn resolver_for(&self, net: &Network) -> ResolverKind {
-        self.override_resolver
-            .or(self.spec.resolver)
-            .or_else(ResolverKind::from_env)
-            .unwrap_or_else(|| net.default_resolver())
+    /// The backend every engine of this run uses (see
+    /// [`resolver_precedence`]). A spec that pins its backend beats
+    /// ambient machine state, so committed `.scn` files run
+    /// environment-independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] when the decision falls through to a
+    /// `DCLUSTER_RESOLVER` value that names no backend.
+    pub fn resolver_for(&self, net: &Network) -> Result<ResolverKind, SpecError> {
+        let env = std::env::var("DCLUSTER_RESOLVER").ok();
+        resolver_precedence(
+            self.override_resolver,
+            self.spec.resolver,
+            env.as_deref(),
+            net.default_resolver(),
+        )
+        .map_err(|msg| SpecError { line: 0, msg })
     }
 
     /// An engine over `net` with [`Runner::resolver_for`]'s backend — the
     /// one way every driver now obtains its engine.
-    pub fn engine<'n>(&self, net: &'n Network) -> Engine<'n> {
-        Engine::with_resolver_kind(net, self.resolver_for(net))
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Runner::resolver_for`]'s environment parse error.
+    pub fn engine<'n>(&self, net: &'n Network) -> Result<Engine<'n>, SpecError> {
+        Ok(Engine::with_resolver_kind(net, self.resolver_for(net)?))
     }
 
     /// Instantiates the spec's mobility/churn models over `net`'s bounding
@@ -255,23 +312,38 @@ impl Runner {
 
     /// Runs the spec's own workload (`workload` line), defaulting to
     /// [`Workload::Clustering`].
-    pub fn run_default(&self) -> Report {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Runner::run`]'s spec errors.
+    pub fn run_default(&self) -> Result<Report, SpecError> {
         let w = self.spec.workload.clone().unwrap_or(Workload::Clustering);
         self.run(&w)
     }
 
     /// Executes `workload` against a freshly built world and returns the
     /// structured report.
-    pub fn run(&self, workload: &Workload) -> Report {
-        self.run_on(self.build_network(), workload)
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending spec section when the
+    /// deployment realizes to zero nodes, the resolver environment value
+    /// is invalid, or a workload parameter is out of range for the
+    /// realized deployment.
+    pub fn run(&self, workload: &Workload) -> Result<Report, SpecError> {
+        self.run_on(self.build_network()?, workload)
     }
 
     /// [`Runner::run`] over a caller-supplied network — for drivers that
     /// already built (and inspected) the deployment, so it is not paid
     /// for twice. `net` must come from [`Runner::build_network`] on the
     /// same spec for the report to be attributable to it.
-    pub fn run_on(&self, net: Network, workload: &Workload) -> Report {
-        let kind = self.resolver_for(&net);
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::run`], minus the deployment errors.
+    pub fn run_on(&self, net: Network, workload: &Workload) -> Result<Report, SpecError> {
+        let kind = self.resolver_for(&net)?;
         let params = self.spec.params;
         let mut seeds = SeedSeq::new(params.seed);
         let mut header = Report {
@@ -314,7 +386,16 @@ impl Runner {
                 };
             }
             Workload::GlobalBroadcast { source, token } => {
-                assert!(*source < net.len(), "source {source} out of range");
+                if *source >= net.len() {
+                    return Err(SpecError {
+                        line: 0,
+                        msg: format!(
+                            "workload global_broadcast: source {source} out of range \
+                             (deployment has {} nodes)",
+                            net.len()
+                        ),
+                    });
+                }
                 let mut engine = Engine::with_resolver_kind(&net, kind);
                 let out = global_broadcast(
                     &mut engine,
@@ -355,7 +436,16 @@ impl Runner {
             }
             Workload::Wakeup { sources } => {
                 for &s in sources {
-                    assert!(s < net.len(), "wakeup source {s} out of range");
+                    if s >= net.len() {
+                        return Err(SpecError {
+                            line: 0,
+                            msg: format!(
+                                "workload wakeup: source {s} out of range \
+                                 (deployment has {} nodes)",
+                                net.len()
+                            ),
+                        });
+                    }
                 }
                 let mut engine = Engine::with_resolver_kind(&net, kind);
                 let out = wakeup(&mut engine, &params, &mut seeds, sources, net.density());
@@ -375,7 +465,7 @@ impl Runner {
                 };
             }
         }
-        header
+        Ok(header)
     }
 }
 
@@ -392,9 +482,88 @@ mod tests {
 
     #[test]
     fn connected_deployment_is_connected() {
-        let net = connected_deployment(60, 8, 3);
+        let net = connected_deployment(60, 8, 3).unwrap();
         assert!(net.comm_graph().is_connected());
         assert_eq!(net.len(), 60);
+    }
+
+    #[test]
+    fn connected_deployment_rejects_zero_nodes_without_panicking() {
+        assert_eq!(
+            connected_deployment(0, 8, 3).unwrap_err(),
+            dcluster_sim::NetworkError::Empty
+        );
+    }
+
+    #[test]
+    fn empty_deployment_yields_a_spec_error_naming_the_deploy_section() {
+        // A syntactically valid spec whose layers realize to zero points
+        // must produce a proper error, not a panic (regression: this used
+        // to die on an `expect("nonempty")` deep inside the runner).
+        let spec = ScenarioSpec::uniform("hollow", 1, 0, 2.0);
+        let err = Runner::new(spec.clone()).build_network().unwrap_err();
+        assert!(
+            err.msg.contains("deploy"),
+            "error must name the offending section, got: {err}"
+        );
+        let err = Runner::new(spec).run_default().unwrap_err();
+        assert!(err.msg.contains("deploy"), "run_default propagates: {err}");
+
+        let degree = ScenarioSpec::degree("hollow-degree", 1, 0, 8);
+        let err = Runner::new(degree).build_network().unwrap_err();
+        assert!(
+            err.msg.contains("deploy degree"),
+            "degree deployments name their section too, got: {err}"
+        );
+    }
+
+    #[test]
+    fn workload_sources_out_of_range_error_instead_of_panicking() {
+        let spec = ScenarioSpec::uniform("oob", 5, 10, 2.0);
+        let err = Runner::new(spec.clone())
+            .run(&Workload::GlobalBroadcast {
+                source: 10,
+                token: 1,
+            })
+            .unwrap_err();
+        assert!(err.msg.contains("global_broadcast"), "got: {err}");
+        let err = Runner::new(spec)
+            .run(&Workload::Wakeup { sources: vec![99] })
+            .unwrap_err();
+        assert!(err.msg.contains("wakeup"), "got: {err}");
+    }
+
+    #[test]
+    fn resolver_precedence_is_pure_and_total() {
+        use ResolverKind::*;
+        // Override beats spec beats env beats default.
+        assert_eq!(
+            resolver_precedence(Some(Grid), Some(Naive), Some("parallel"), Aggregated),
+            Ok(Grid)
+        );
+        assert_eq!(
+            resolver_precedence(None, Some(Naive), Some("parallel"), Aggregated),
+            Ok(Naive)
+        );
+        assert_eq!(
+            resolver_precedence(None, None, Some("parallel"), Aggregated),
+            Ok(Parallel)
+        );
+        assert_eq!(
+            resolver_precedence(None, None, None, Aggregated),
+            Ok(Aggregated)
+        );
+        // An invalid env value errors (naming every backend) only when the
+        // decision actually falls through to it.
+        let err = resolver_precedence(None, None, Some("fft"), Aggregated).unwrap_err();
+        for name in ["naive", "grid", "aggregated", "parallel"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+        assert_eq!(
+            resolver_precedence(None, Some(Naive), Some("fft"), Aggregated),
+            Ok(Naive),
+            "a spec-pinned backend shields a stale env var"
+        );
     }
 
     #[test]
@@ -414,7 +583,7 @@ mod tests {
                 width: 1.0,
                 spine: 0.45,
             });
-        let got = Runner::new(spec).build_network();
+        let got = Runner::new(spec).build_network().unwrap();
         let mut rng = Rng64::new(11);
         let mut pts = deploy::gaussian_clusters(1, 10, 0.15, 0.1, &mut rng);
         pts.extend(deploy::corridor_with_spine(30, 5.0, 1.0, 0.45, &mut rng));
@@ -427,8 +596,8 @@ mod tests {
     fn het_power_matches_the_historical_profile() {
         let spec = ScenarioSpec::degree("dyn", 0xD15C0, 40, 8)
             .dynamics(DynamicsSpec::HetPower { spread: 0.3 });
-        let got = Runner::new(spec).build_network();
-        let base = connected_deployment(40, 8, 0xD15C0);
+        let got = Runner::new(spec).build_network().unwrap();
+        let base = connected_deployment(40, 8, 0xD15C0).unwrap();
         let want = dcluster_dynamics::with_power_profile(&base, 0.3, 0xD15C0 ^ 3);
         assert_eq!(got.powers(), want.powers());
         assert_eq!(got.points(), want.points());
@@ -437,16 +606,17 @@ mod tests {
     #[test]
     fn resolver_precedence_override_beats_spec() {
         let spec = ScenarioSpec::uniform("r", 5, 30, 2.0).resolver(ResolverKind::Naive);
-        let net = Runner::new(spec.clone()).build_network();
+        let net = Runner::new(spec.clone()).build_network().unwrap();
         assert_eq!(
-            Runner::new(spec.clone()).resolver_for(&net),
+            Runner::new(spec.clone()).resolver_for(&net).unwrap(),
             ResolverKind::Naive,
             "spec line wins over the scale-aware default"
         );
         assert_eq!(
             Runner::new(spec)
                 .with_resolver_override(Some(ResolverKind::Grid))
-                .resolver_for(&net),
+                .resolver_for(&net)
+                .unwrap(),
             ResolverKind::Grid,
             "explicit override wins over the spec"
         );
@@ -454,8 +624,9 @@ mod tests {
 
     #[test]
     fn clustering_workload_covers_everyone() {
-        let report =
-            Runner::new(ScenarioSpec::uniform("q", 2024, 40, 3.0)).run(&Workload::Clustering);
+        let report = Runner::new(ScenarioSpec::uniform("q", 2024, 40, 3.0))
+            .run(&Workload::Clustering)
+            .unwrap();
         assert_eq!(report.n, 40);
         assert!(report.rounds > 0);
         let WorkloadOutcome::Clustering { report: q, .. } = &report.outcome else {
@@ -477,7 +648,7 @@ mod tests {
             })
             .epochs(2)
             .resolver(ResolverKind::Aggregated);
-        let report = Runner::new(spec).run(&Workload::Maintenance);
+        let report = Runner::new(spec).run(&Workload::Maintenance).unwrap();
         let WorkloadOutcome::Maintenance { epochs, summary } = &report.outcome else {
             panic!("wrong outcome kind");
         };
@@ -489,8 +660,8 @@ mod tests {
     #[test]
     fn reports_are_deterministic_across_runs() {
         let spec = ScenarioSpec::uniform("det", 7, 35, 2.5).workload(Workload::LocalBroadcast);
-        let a = Runner::new(spec.clone()).run_default();
-        let b = Runner::new(spec).run_default();
+        let a = Runner::new(spec.clone()).run_default().unwrap();
+        let b = Runner::new(spec).run_default().unwrap();
         assert_eq!(a, b, "same spec, same report, byte for byte");
     }
 
@@ -498,10 +669,10 @@ mod tests {
     fn run_on_a_prebuilt_network_equals_run() {
         let spec = ScenarioSpec::uniform("prebuilt", 12, 30, 2.5);
         let runner = Runner::new(spec);
-        let net = runner.build_network();
+        let net = runner.build_network().unwrap();
         assert_eq!(
-            runner.run_on(net, &Workload::Clustering),
-            runner.run(&Workload::Clustering),
+            runner.run_on(net, &Workload::Clustering).unwrap(),
+            runner.run(&Workload::Clustering).unwrap(),
             "caller-supplied deployment must be indistinguishable"
         );
     }

@@ -968,6 +968,44 @@ mod tests {
     }
 
     #[test]
+    fn malformed_lines_report_the_line_number_and_offending_token() {
+        // A truncated dynamics block (missing a required key) names the
+        // key and the line it was expected on.
+        let e = ScenarioSpec::parse("deploy uniform n=10 side=2\ndynamics waypoint speed=0.25\n")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("missing key 'frac'"), "{e}");
+        assert!(e.to_string().starts_with("line 2:"), "{e}");
+
+        // A malformed float names the key and the rejected value.
+        let e = ScenarioSpec::parse("deploy uniform n=10 side=2.O\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("side"), "{e}");
+        assert!(e.msg.contains("2.O"), "{e}");
+
+        // A bare key=value token with no '=' is rejected where it sits.
+        let e =
+            ScenarioSpec::parse("deploy uniform n=10 side=2\ndynamics churn rate\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("key=value"), "{e}");
+
+        // A resolver typo lists every valid backend, including the
+        // parallel one.
+        let e = ScenarioSpec::parse("deploy uniform n=10 side=2\nresolver paralel\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        for backend in ["naive", "grid", "aggregated", "parallel"] {
+            assert!(e.msg.contains(backend), "error must list '{backend}': {e}");
+        }
+
+        // Unknown dynamics and workload names are line-numbered too.
+        let e = ScenarioSpec::parse("deploy uniform n=10 side=2\ndynamics teleport frac=0.5\n")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = ScenarioSpec::parse("deploy uniform n=10 side=2\nworkload frisbee\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
     fn empty_wakeup_sources_round_trip() {
         // Representable ⇒ canonically encodable ⇒ re-parseable, even for
         // the degenerate empty list (execution rejects it, not the format).

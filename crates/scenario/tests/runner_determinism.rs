@@ -43,8 +43,8 @@ fn golden_ci_specs_produce_byte_identical_reports() {
     // (not just headline numbers) is the determinism contract.
     for name in ["ci_clustering.scn", "ci_maintenance.scn"] {
         let runner = Runner::from_file(scenarios_dir().join(name)).expect("committed spec");
-        let first = runner.run_default();
-        let second = runner.run_default();
+        let first = runner.run_default().expect("committed spec runs");
+        let second = runner.run_default().expect("committed spec runs");
         assert_eq!(first, second, "{name}: reports differ across reruns");
         assert_eq!(
             first.to_markdown(),
@@ -65,7 +65,9 @@ fn ci_maintenance_spec_is_resolver_invariant() {
         let runner = Runner::from_file(&path)
             .expect("committed spec")
             .with_resolver_override(Some(kind));
-        let report = runner.run(&Workload::Maintenance);
+        let report = runner
+            .run(&Workload::Maintenance)
+            .expect("committed spec runs");
         let WorkloadOutcome::Maintenance { epochs, summary } = report.outcome else {
             panic!("maintenance outcome expected");
         };
@@ -89,7 +91,32 @@ fn ci_maintenance_spec_is_resolver_invariant() {
     };
     let grid = run(dcluster_sim::ResolverKind::Grid);
     let agg = run(dcluster_sim::ResolverKind::Aggregated);
+    let par = run(dcluster_sim::ResolverKind::Parallel);
     assert_eq!(grid, agg, "backends must agree epoch by epoch");
+    assert_eq!(grid, par, "parallel backend must agree epoch by epoch");
+}
+
+#[test]
+fn empty_deployment_scn_text_errors_instead_of_panicking() {
+    // Regression: a syntactically valid spec whose deployment realizes to
+    // zero points used to panic deep inside `Network::builder` via an
+    // `expect("nonempty")`; it must surface as a `SpecError` naming the
+    // deploy section instead.
+    let text = "\
+scenario hollow
+seed 7
+deploy uniform n=0 side=2.0
+workload clustering
+";
+    let spec = ScenarioSpec::parse(text).expect("zero-node specs parse fine");
+    let err = Runner::new(spec)
+        .run_default()
+        .expect_err("zero-point deployment must be an error, not a panic");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("deploy"),
+        "error must name the deploy section, got: {msg}"
+    );
 }
 
 #[test]

@@ -89,11 +89,16 @@ impl<'n> Engine<'n> {
     /// variable when set, else the network's scale-aware default — the
     /// constructor examples and ad-hoc drivers should use, so they
     /// exercise the same backend-selection path as the bench binaries.
-    pub fn from_env(net: &'n Network) -> Self {
-        match ResolverKind::from_env() {
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error (naming every valid backend) when
+    /// `DCLUSTER_RESOLVER` is set to an unknown name.
+    pub fn from_env(net: &'n Network) -> Result<Self, String> {
+        Ok(match ResolverKind::from_env()? {
             Some(kind) => Self::with_resolver_kind(net, kind),
             None => Self::new(net),
-        }
+        })
     }
 
     /// Creates an engine with a caller-constructed resolver backend.
@@ -122,6 +127,13 @@ impl<'n> Engine<'n> {
     /// The resolver backend's cumulative work counters.
     pub fn resolver_stats(&self) -> ResolverStats {
         self.resolver.stats()
+    }
+
+    /// Audits the resolver's incrementally-maintained state (the
+    /// persistent backends' cached interference field) against a rebuild
+    /// from scratch. Backends without such state trivially pass.
+    pub fn audit_resolver(&self) -> Result<(), String> {
+        self.resolver.audit(self.net)
     }
 
     /// Statistics of the most recently executed round (zeroed before the

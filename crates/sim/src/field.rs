@@ -68,6 +68,18 @@ pub struct FieldStats {
     pub exact_fallbacks: u64,
 }
 
+impl FieldStats {
+    /// Accumulates another counter set into this one — the parallel
+    /// resolver merges per-shard stats this way. All fields are plain
+    /// counts, so merging is commutative and order-independent.
+    pub fn merge(&mut self, other: FieldStats) {
+        self.queries += other.queries;
+        self.residual_decided += other.residual_decided;
+        self.exhausted += other.exhausted;
+        self.exact_fallbacks += other.exact_fallbacks;
+    }
+}
+
 /// A per-round interference summary over the transmitter set. See the
 /// module docs for the exactness argument.
 ///
@@ -127,6 +139,34 @@ impl InterferenceField {
         self.tx.len()
     }
 
+    /// The stored transmitter indices, in fallback-summation order (caller
+    /// order at build time; kept sorted ascending by the incremental ops).
+    pub fn tx(&self) -> &[u32] {
+        &self.tx
+    }
+
+    /// Checks this (possibly incrementally maintained) field against a
+    /// fresh rebuild over its own transmitter set: the subset grid must be
+    /// structurally identical and the power cap must still bound every
+    /// stored transmitter's power. Both conditions together imply the
+    /// maintained field returns exactly a rebuilt field's decisions (the
+    /// cap may be loose after removals — that shifts which bound concludes,
+    /// never the outcome).
+    pub fn audit_against_rebuild(&self, points: &[Point], powers: &[f64]) -> Result<(), String> {
+        let tx: Vec<usize> = self.tx.iter().map(|&t| t as usize).collect();
+        let fresh = InterferenceField::build(points, powers, &tx, self.grid.cell_size());
+        if self.grid != fresh.grid {
+            return Err("maintained interference field grid diverged from a fresh rebuild".into());
+        }
+        if self.power_cap < fresh.power_cap {
+            return Err(format!(
+                "maintained power cap {} no longer bounds the stored transmitters (need ≥ {})",
+                self.power_cap, fresh.power_cap
+            ));
+        }
+        Ok(())
+    }
+
     /// Query counters accumulated so far.
     pub fn stats(&self) -> FieldStats {
         self.stats
@@ -184,7 +224,29 @@ impl InterferenceField {
         sender: usize,
         s1: f64,
     ) -> bool {
-        self.stats.queries += 1;
+        let mut stats = self.stats;
+        let got = self.decide_at(points, powers, params, u, sender, s1, &mut stats);
+        self.stats = stats;
+        got
+    }
+
+    /// The shared-reference form of [`InterferenceField::decide`]: answers
+    /// the same query without mutating the field, accumulating counters
+    /// into a caller-owned [`FieldStats`] instead. This is what lets the
+    /// parallel resolver share one `&InterferenceField` across worker
+    /// threads, each with its own stat block, merged afterwards.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_at(
+        &self,
+        points: &[Point],
+        powers: &[f64],
+        params: &SinrParams,
+        u: Point,
+        sender: usize,
+        s1: f64,
+        stats: &mut FieldStats,
+    ) -> bool {
+        stats.queries += 1;
         let cell = self.grid.cell_size();
         let (ucx, ucy) = self.grid.key_of(u);
         // Per-transmitter signal `P_w / d^α` — bit-identical to
@@ -220,12 +282,12 @@ impl InterferenceField {
             }
             // Reject: the true interference is at least `i_near`.
             if s1 < params.beta * (params.noise + i_near) {
-                self.stats.residual_decided += 1;
+                stats.residual_decided += 1;
                 return false;
             }
             // Exhausted: every interferer is accounted for — exact test.
             if near_count == interferers {
-                self.stats.exhausted += 1;
+                stats.exhausted += 1;
                 return s1 >= params.beta * (params.noise + i_near);
             }
             // Accept: even the residual upper bound cannot push the
@@ -237,7 +299,7 @@ impl InterferenceField {
                 let kc = (k as f64 * cell).max(1e-12);
                 let residual = far * (self.power_cap / kc.powf(alpha));
                 if s1 >= params.beta * (params.noise + i_near + residual) {
-                    self.stats.residual_decided += 1;
+                    stats.residual_decided += 1;
                     return true;
                 }
             }
@@ -249,7 +311,7 @@ impl InterferenceField {
         // caller order (NOT hash-map cell order — iteration order decides
         // last-ulp rounding, and it must be identical across runs).
         // Transmitters inside the scanned block are already in `i_near`.
-        self.stats.exact_fallbacks += 1;
+        stats.exact_fallbacks += 1;
         let mut i_total = i_near;
         for &w in &self.tx {
             let w = w as usize;
@@ -407,6 +469,9 @@ mod tests {
             let mut fresh = InterferenceField::build(&pts, &powers, &tx, params.range());
             assert_eq!(field.grid(), fresh.grid(), "round {round}: grid diverged");
             assert_eq!(field.transmitter_count(), tx.len());
+            field
+                .audit_against_rebuild(&pts, &powers)
+                .unwrap_or_else(|e| panic!("round {round}: audit failed: {e}"));
             for u in (0..n).filter(|u| !tx.contains(u)).take(20) {
                 for &v in &tx {
                     let s1 = powers[v] / pts[v].dist(pts[u]).max(1e-12).powf(params.alpha);
@@ -419,6 +484,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn decide_at_agrees_with_decide_and_merges_stats() {
+        let params = SinrParams::default();
+        let mut rng = Rng64::new(9);
+        let n = 60;
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.range_f64(0.0, 4.0), rng.range_f64(0.0, 4.0)))
+            .collect();
+        let powers = uniform_powers(n, &params);
+        let tx: Vec<usize> = (0..n).filter(|_| rng.chance(0.4)).collect();
+        let mut field = InterferenceField::build(&pts, &powers, &tx, params.range());
+        let shared = InterferenceField::build(&pts, &powers, &tx, params.range());
+        let mut a = FieldStats::default();
+        let mut b = FieldStats::default();
+        for (i, u) in (0..n).filter(|u| !tx.contains(u)).enumerate() {
+            for &v in &tx {
+                let s1 = params.signal(pts[v].dist(pts[u]));
+                let side = if i % 2 == 0 { &mut a } else { &mut b };
+                assert_eq!(
+                    shared.decide_at(&pts, &powers, &params, pts[u], v, s1, side),
+                    field.decide(&pts, &powers, &params, pts[u], v, s1),
+                    "decide_at and decide split (receiver {u}, sender {v})"
+                );
+            }
+        }
+        let mut merged = FieldStats::default();
+        merged.merge(a);
+        merged.merge(b);
+        assert_eq!(
+            merged,
+            field.stats(),
+            "merged shard counters must equal the sequential counters"
+        );
     }
 
     #[test]

@@ -63,14 +63,14 @@ pub mod radio;
 pub mod rng;
 
 pub use engine::{Engine, EngineStats, RoundBehavior, RoundStats};
-pub use field::InterferenceField;
+pub use field::{FieldStats, InterferenceField};
 pub use graph::Graph;
 pub use grid::{Grid, TwoNearest};
 pub use network::{Network, NetworkBuilder, NetworkError};
 pub use point::Point;
 pub use radio::{
-    AggregatedResolver, GridResolver, NaiveResolver, Reception, ResolverKind, ResolverStats,
-    SinrResolver,
+    AggregatedResolver, FieldCache, GridResolver, NaiveResolver, ParallelResolver, Reception,
+    ResolverKind, ResolverStats, SinrResolver,
 };
 pub use rng::Rng64;
 

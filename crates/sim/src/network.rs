@@ -21,6 +21,18 @@ use crate::point::Point;
 use crate::SinrParams;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global source of network mutation stamps. Every build and every
+/// incremental mutation draws a fresh value, so a stamp observed once is
+/// never reissued — caches keyed on it can trust a match absolutely, even
+/// across [`Network::clone`]s (a clone shares its origin's stamp until the
+/// first mutation gives it a fresh one).
+static STAMP_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+fn next_stamp() -> u64 {
+    STAMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Error building a [`Network`].
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +116,9 @@ pub struct Network {
     grid: Grid,
     comm: Graph,
     id_to_idx: HashMap<u64, usize>,
+    /// Mutation stamp: process-globally unique, replaced on every
+    /// geometry/power mutation. See [`Network::stamp`].
+    stamp: u64,
 }
 
 impl Network {
@@ -288,11 +303,24 @@ impl Network {
         self.powers[w] / d.powf(self.params.alpha)
     }
 
+    /// An opaque mutation stamp for cache invalidation: two observations of
+    /// the same stamp guarantee the network's geometry and powers have not
+    /// changed in between. Stamps are drawn from a process-global counter —
+    /// assigned at build, replaced by [`Network::move_node`] and
+    /// [`Network::set_power`] — and never reissued, so distinct `Network`
+    /// values (including fresh builds over identical deployments) never
+    /// alias each other's stamps.
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
     /// Moves node `v` to `to`, patching the spatial grid and the
     /// communication graph incrementally (`O(Δ)` plus the grid hash ops).
     /// The result is structurally identical to rebuilding the network from
     /// the updated deployment.
     pub fn move_node(&mut self, v: usize, to: Point) {
+        self.stamp = next_stamp();
         let from = self.points[v];
         self.grid.move_point(v, from, to);
         self.points[v] = to;
@@ -312,6 +340,7 @@ impl Network {
             power > 0.0 && power.is_finite(),
             "node {v} power must be positive, got {power}"
         );
+        self.stamp = next_stamp();
         let old_range = self.ranges[v];
         if self.powers[v] != self.params.power {
             self.non_model_power -= 1;
@@ -501,6 +530,7 @@ impl NetworkBuilder {
             grid,
             comm: Graph::from_adjacency(adj),
             id_to_idx,
+            stamp: next_stamp(),
         })
     }
 }
@@ -751,6 +781,22 @@ mod tests {
             Network::builder(vec![]).build().unwrap_err(),
             NetworkError::Empty
         );
+    }
+
+    #[test]
+    fn stamps_distinguish_builds_and_change_on_mutation() {
+        let mut a = Network::builder(square(3, 0.5)).build().unwrap();
+        let b = Network::builder(square(3, 0.5)).build().unwrap();
+        assert_ne!(a.stamp(), b.stamp(), "identical builds never alias");
+        let clone = a.clone();
+        let original = a.stamp();
+        assert_eq!(clone.stamp(), original, "a clone shares until mutated");
+        a.move_node(0, Point::new(0.1, 0.1));
+        assert_ne!(a.stamp(), original, "move_node invalidates");
+        let moved = a.stamp();
+        a.set_power(0, 2.0 * a.params().power);
+        assert_ne!(a.stamp(), moved, "set_power invalidates");
+        assert_eq!(clone.stamp(), original, "untouched clone keeps its stamp");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! and it is necessarily the one with the strongest signal (the nearest,
 //! under uniform power). Reception resolution is the hot path of every
 //! experiment binary, so it sits behind the [`SinrResolver`] trait with
-//! three interchangeable backends ([`ResolverKind`]):
+//! four interchangeable backends ([`ResolverKind`]):
 //!
 //! **Heterogeneous power.** Nodes may transmit at per-node powers
 //! ([`Network::powers`](crate::Network::powers)); signals are then
@@ -47,12 +47,25 @@
 //!   and the returned receptions are **exactly** the naive ones (the cell
 //!   sums are exact partial sums, not approximations; see
 //!   [`crate::field`] for the full argument).
+//! * [`ParallelResolver`] — the aggregated strategy, sharded and
+//!   persistent. The receiver scan is split into fixed contiguous index
+//!   chunks resolved on a scoped thread pool (`DCLUSTER_THREADS`, default
+//!   [`std::thread::available_parallelism`] capped at 8) against one shared
+//!   immutable [`InterferenceField`]; per-chunk receptions are concatenated
+//!   in chunk order, so the output is **byte-identical** to the sequential
+//!   backends for every thread count (each chunk emits its receivers in
+//!   ascending order, and counters merge commutatively). Across rounds the
+//!   field is kept in a [`FieldCache`] keyed on the network's mutation
+//!   stamp and patched with the sparse transmitter diff instead of rebuilt
+//!   — exactness is preserved because the maintained subset grid is
+//!   structurally identical to a rebuilt one (audited by
+//!   [`SinrResolver::audit`]).
 //!
-//! Equivalence of all three backends is enforced by property tests on
+//! Equivalence of all backends is enforced by property tests on
 //! random, clumped and grid-boundary deployments
 //! (`crates/sim/tests/radio_equivalence.rs`).
 
-use crate::field::InterferenceField;
+use crate::field::{FieldStats, InterferenceField};
 use crate::grid::Grid;
 use crate::network::Network;
 use std::fmt;
@@ -79,14 +92,19 @@ pub enum ResolverKind {
     Grid,
     /// Grid short-circuit + per-round cell-aggregated interference field.
     Aggregated,
+    /// The aggregated strategy with a sharded receiver scan and a
+    /// persistent, sparsely-patched interference field. Byte-identical
+    /// output for every thread count.
+    Parallel,
 }
 
 impl ResolverKind {
     /// Every backend, in increasing order of sophistication.
-    pub const ALL: [ResolverKind; 3] = [
+    pub const ALL: [ResolverKind; 4] = [
         ResolverKind::Naive,
         ResolverKind::Grid,
         ResolverKind::Aggregated,
+        ResolverKind::Parallel,
     ];
 
     /// Stable lower-case name (CLI flags, traces, CSV columns).
@@ -95,23 +113,22 @@ impl ResolverKind {
             ResolverKind::Naive => "naive",
             ResolverKind::Grid => "grid",
             ResolverKind::Aggregated => "aggregated",
+            ResolverKind::Parallel => "parallel",
         }
     }
 
-    /// The backend named by the `DCLUSTER_RESOLVER` environment variable,
-    /// if set. A typo aborts with the parse error rather than silently
-    /// falling back.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the variable is set to an unknown backend name.
-    pub fn from_env() -> Option<ResolverKind> {
-        std::env::var("DCLUSTER_RESOLVER")
-            .ok()
-            .map(|v| match v.parse() {
-                Ok(kind) => kind,
-                Err(e) => panic!("DCLUSTER_RESOLVER: {e}"),
-            })
+    /// The backend named by the `DCLUSTER_RESOLVER` environment variable:
+    /// `Ok(None)` when unset, and the parse error — naming every valid
+    /// backend — when set to an unknown name. A typo is never silently
+    /// ignored.
+    pub fn from_env() -> Result<Option<ResolverKind>, String> {
+        match std::env::var("DCLUSTER_RESOLVER") {
+            Ok(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("DCLUSTER_RESOLVER: {e}")),
+            Err(_) => Ok(None),
+        }
     }
 
     /// Instantiates the backend.
@@ -120,6 +137,7 @@ impl ResolverKind {
             ResolverKind::Naive => Box::new(NaiveResolver::new()),
             ResolverKind::Grid => Box::new(GridResolver::new()),
             ResolverKind::Aggregated => Box::new(AggregatedResolver::new()),
+            ResolverKind::Parallel => Box::new(ParallelResolver::new()),
         }
     }
 }
@@ -137,8 +155,9 @@ impl FromStr for ResolverKind {
             "naive" => Ok(ResolverKind::Naive),
             "grid" => Ok(ResolverKind::Grid),
             "aggregated" | "agg" => Ok(ResolverKind::Aggregated),
+            "parallel" | "par" => Ok(ResolverKind::Parallel),
             other => Err(format!(
-                "unknown resolver '{other}' (expected naive|grid|aggregated)"
+                "unknown resolver '{other}' (expected naive|grid|aggregated|parallel)"
             )),
         }
     }
@@ -190,6 +209,119 @@ pub trait SinrResolver: fmt::Debug {
 
     /// Cumulative work counters.
     fn stats(&self) -> ResolverStats;
+
+    /// Verifies any incrementally-maintained internal state against a
+    /// rebuild from scratch (backends without such state trivially pass).
+    /// The persistent backends compare their cached interference field's
+    /// subset grid with a fresh build over the same transmitter set —
+    /// structural identity there is exactly what guarantees
+    /// rebuild-identical decisions.
+    fn audit(&self, net: &Network) -> Result<(), String> {
+        let _ = net;
+        Ok(())
+    }
+}
+
+/// A cross-round cache of one [`InterferenceField`], keyed on the owning
+/// network's mutation [stamp](Network::stamp). When the stamp still
+/// matches and the transmitter set is sorted ascending (as every
+/// engine-produced set is), the next round's field is obtained by patching
+/// the cached one with the sparse transmitter diff — `O(changes)` instead
+/// of an `O(|T|)` rebuild — and is *exactly* the field a rebuild would
+/// produce: the subset grid keeps its members sorted, and the sorted
+/// transmitter list keeps the exact-fallback summation order. A network
+/// mutation, an unsorted transmitter slice, or a diff bigger than the
+/// rebuild cost all fall back to a fresh build.
+#[derive(Debug, Default)]
+pub struct FieldCache {
+    /// Network stamp the cached field was built/patched against
+    /// (0 = nothing cached; real stamps start at 1).
+    stamp: u64,
+    field: Option<InterferenceField>,
+    /// Scratch for the diff walk (kept to avoid per-round allocation).
+    removals: Vec<usize>,
+    inserts: Vec<usize>,
+}
+
+impl FieldCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the field for this round's `(net, transmitters)`: patched
+    /// from the cached round when that is sound and cheaper, rebuilt
+    /// otherwise.
+    pub fn obtain(&mut self, net: &Network, transmitters: &[usize]) -> &InterferenceField {
+        let sorted = transmitters.windows(2).all(|w| w[0] < w[1]);
+        if sorted && self.stamp == net.stamp() && self.try_patch(net, transmitters) {
+            return self.field.as_ref().expect("patched field is cached");
+        }
+        // Rebuild. An unsorted transmitter slice must not seed later
+        // patches (patching keeps the list sorted, which would silently
+        // reorder the fallback summation), so it leaves the cache unkeyed.
+        self.stamp = if sorted { net.stamp() } else { 0 };
+        self.field.insert(InterferenceField::build(
+            net.points(),
+            net.powers(),
+            transmitters,
+            net.params().range(),
+        ))
+    }
+
+    /// Diffs the cached transmitter set against `transmitters` (both sorted
+    /// ascending) and applies the sparse patch when it is cheaper than a
+    /// rebuild. Returns whether the cached field now covers `transmitters`.
+    fn try_patch(&mut self, net: &Network, transmitters: &[usize]) -> bool {
+        let Some(field) = self.field.as_mut() else {
+            return false;
+        };
+        let old = field.tx();
+        self.removals.clear();
+        self.inserts.clear();
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() && j < transmitters.len() {
+            let (a, b) = (old[i] as usize, transmitters[j]);
+            match a.cmp(&b) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    self.removals.push(a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    self.inserts.push(b);
+                    j += 1;
+                }
+            }
+        }
+        self.removals.extend(old[i..].iter().map(|&t| t as usize));
+        self.inserts.extend_from_slice(&transmitters[j..]);
+        // Patch only while it beats the O(|T|) rebuild.
+        if (self.removals.len() + self.inserts.len()) * 2 > old.len() + transmitters.len() {
+            return false;
+        }
+        for &t in &self.removals {
+            field.remove_transmitter(net.points(), t);
+        }
+        for &t in &self.inserts {
+            field.insert_transmitter(net.points(), net.powers(), t);
+        }
+        true
+    }
+
+    /// Audits the cached field (if it is still keyed to `net`) against a
+    /// fresh rebuild over its own transmitter set.
+    pub fn audit(&self, net: &Network) -> Result<(), String> {
+        match &self.field {
+            Some(field) if self.stamp == net.stamp() => {
+                field.audit_against_rebuild(net.points(), net.powers())
+            }
+            _ => Ok(()), // nothing cached, or stale: next round rebuilds
+        }
+    }
 }
 
 /// Candidate sender at receiver position `u`: the strongest and
@@ -396,12 +528,23 @@ pub struct AggregatedResolver {
     is_tx: Vec<bool>,
     slot_of: Vec<u32>,
     stats: ResolverStats,
+    /// `Some` once persistence is enabled: the interference field is then
+    /// kept across rounds and patched with the sparse transmitter diff.
+    cache: Option<FieldCache>,
 }
 
 impl AggregatedResolver {
-    /// Creates the backend.
+    /// Creates the backend (field rebuilt from scratch every round — the
+    /// historical behavior).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables cross-round field persistence (see [`FieldCache`]).
+    /// Receptions are unchanged; only the per-round build cost is.
+    pub fn with_persistence(mut self) -> Self {
+        self.cache = Some(FieldCache::new());
+        self
     }
 }
 
@@ -419,8 +562,16 @@ impl SinrResolver for AggregatedResolver {
         let n = net.len();
         let p = net.params();
         mark_transmitters(n, transmitters, &mut self.is_tx, &mut self.slot_of);
-        let mut field =
-            InterferenceField::build(net.points(), net.powers(), transmitters, p.range());
+        let fresh; // keeps the non-persistent field alive past the match
+        let field: &InterferenceField = match self.cache.as_mut() {
+            Some(cache) => cache.obtain(net, transmitters),
+            None => {
+                fresh =
+                    InterferenceField::build(net.points(), net.powers(), transmitters, p.range());
+                &fresh
+            }
+        };
+        let mut fs = FieldStats::default();
         for u in 0..n {
             if self.is_tx[u] {
                 continue; // half-duplex
@@ -433,7 +584,7 @@ impl SinrResolver for AggregatedResolver {
                 self.stats.short_circuited += 1;
                 continue;
             }
-            if field.decide(net.points(), net.powers(), p, net.pos(u), v, s1) {
+            if field.decide_at(net.points(), net.powers(), p, net.pos(u), v, s1, &mut fs) {
                 out.push(Reception {
                     receiver: u,
                     sender: v,
@@ -441,13 +592,207 @@ impl SinrResolver for AggregatedResolver {
                 });
             }
         }
-        let fs = field.stats();
         self.stats.residual_decided += fs.residual_decided + fs.exhausted;
         self.stats.exact_fallbacks += fs.exact_fallbacks;
     }
 
     fn stats(&self) -> ResolverStats {
         self.stats
+    }
+
+    fn audit(&self, net: &Network) -> Result<(), String> {
+        match &self.cache {
+            Some(cache) => cache.audit(net),
+            None => Ok(()),
+        }
+    }
+}
+
+/// How many worker threads the parallel backend uses: `DCLUSTER_THREADS`
+/// when set, else [`std::thread::available_parallelism`] capped at 8.
+///
+/// # Panics
+///
+/// Panics when `DCLUSTER_THREADS` is set to anything but a positive
+/// integer — a typo must not silently fall back to a default.
+fn threads_from_env() -> u32 {
+    match std::env::var("DCLUSTER_THREADS") {
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(t) if t >= 1 => t,
+            _ => panic!("DCLUSTER_THREADS: expected a positive integer, got '{v}'"),
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1)
+            .min(8),
+    }
+}
+
+/// Per-chunk output slot of the parallel receiver scan. Chunks are fixed
+/// contiguous receiver ranges, so concatenating the slots in chunk order
+/// reproduces the sequential (ascending-receiver) output exactly,
+/// independent of how many threads raced over them.
+#[derive(Debug, Default)]
+struct ChunkOut {
+    recs: Vec<Reception>,
+    field_stats: FieldStats,
+    candidates: u64,
+    short_circuited: u64,
+}
+
+/// Parallel backend: the aggregated strategy with the receiver scan
+/// sharded over a scoped thread pool and the interference field kept
+/// across rounds (see the module docs and [`FieldCache`]). Deterministic
+/// and byte-identical to [`AggregatedResolver`] for every thread count —
+/// on a single-core host it degrades gracefully to the sequential scan
+/// (the 1-thread path runs inline, no spawn, no locks) and still keeps
+/// the persistence win.
+#[derive(Debug)]
+pub struct ParallelResolver {
+    is_tx: Vec<bool>,
+    slot_of: Vec<u32>,
+    stats: ResolverStats,
+    pool: scoped_threadpool::Pool,
+    cache: Option<FieldCache>,
+}
+
+impl ParallelResolver {
+    /// Creates the backend with [`threads_from_env`]'s thread count and
+    /// persistence enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `DCLUSTER_THREADS` is set to a non-integer.
+    pub fn new() -> Self {
+        Self::with_threads(threads_from_env())
+    }
+
+    /// Creates the backend with an explicit thread count (≥ 1).
+    pub fn with_threads(threads: u32) -> Self {
+        Self {
+            is_tx: Vec::new(),
+            slot_of: Vec::new(),
+            stats: ResolverStats::default(),
+            pool: scoped_threadpool::Pool::new(threads.max(1)),
+            cache: Some(FieldCache::new()),
+        }
+    }
+
+    /// Disables cross-round field persistence (the field is then rebuilt
+    /// every round, like the plain aggregated backend) — for benchmarking
+    /// the two effects separately.
+    pub fn without_persistence(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// The worker thread count.
+    pub fn threads(&self) -> u32 {
+        self.pool.thread_count()
+    }
+}
+
+impl Default for ParallelResolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SinrResolver for ParallelResolver {
+    fn kind(&self) -> ResolverKind {
+        ResolverKind::Parallel
+    }
+
+    fn resolve_into(&mut self, net: &Network, transmitters: &[usize], out: &mut Vec<Reception>) {
+        out.clear();
+        self.stats.rounds += 1;
+        if transmitters.is_empty() {
+            return;
+        }
+        let n = net.len();
+        let p = net.params();
+        mark_transmitters(n, transmitters, &mut self.is_tx, &mut self.slot_of);
+        let fresh;
+        let field: &InterferenceField = match self.cache.as_mut() {
+            Some(cache) => cache.obtain(net, transmitters),
+            None => {
+                fresh =
+                    InterferenceField::build(net.points(), net.powers(), transmitters, p.range());
+                &fresh
+            }
+        };
+        // Fixed contiguous receiver chunks; a few per thread so a dense
+        // pocket cannot stall the whole round on one worker. The chunking
+        // never affects the output (see `ChunkOut`).
+        let threads = self.pool.thread_count() as usize;
+        let chunks = if threads <= 1 {
+            1
+        } else {
+            (threads * 4).min(n.max(1))
+        };
+        let chunk_len = n.div_ceil(chunks);
+        let mut outs: Vec<ChunkOut> = (0..chunks).map(|_| ChunkOut::default()).collect();
+        let is_tx = &self.is_tx;
+        let slot_of = &self.slot_of;
+        self.pool.scoped(|scope| {
+            for (c, chunk_out) in outs.iter_mut().enumerate() {
+                let lo = c * chunk_len;
+                let hi = ((c + 1) * chunk_len).min(n);
+                scope.execute(move || {
+                    for (u, &u_is_tx) in is_tx.iter().enumerate().take(hi).skip(lo) {
+                        if u_is_tx {
+                            continue; // half-duplex
+                        }
+                        let Some((v, s1, i_low)) = candidate_signals(net, field.grid(), u) else {
+                            continue;
+                        };
+                        chunk_out.candidates += 1;
+                        if s1 < p.beta * (p.noise + i_low) {
+                            chunk_out.short_circuited += 1;
+                            continue;
+                        }
+                        let decided = field.decide_at(
+                            net.points(),
+                            net.powers(),
+                            p,
+                            net.pos(u),
+                            v,
+                            s1,
+                            &mut chunk_out.field_stats,
+                        );
+                        if decided {
+                            chunk_out.recs.push(Reception {
+                                receiver: u,
+                                sender: v,
+                                slot: slot_of[v] as usize,
+                            });
+                        }
+                    }
+                });
+            }
+        });
+        // Deterministic merge: chunk order = ascending receiver order;
+        // counters are plain sums, so the totals are chunking-invariant.
+        let mut fs = FieldStats::default();
+        for chunk_out in outs {
+            self.stats.candidates += chunk_out.candidates;
+            self.stats.short_circuited += chunk_out.short_circuited;
+            fs.merge(chunk_out.field_stats);
+            out.extend(chunk_out.recs);
+        }
+        self.stats.residual_decided += fs.residual_decided + fs.exhausted;
+        self.stats.exact_fallbacks += fs.exact_fallbacks;
+    }
+
+    fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    fn audit(&self, net: &Network) -> Result<(), String> {
+        match &self.cache {
+            Some(cache) => cache.audit(net),
+            None => Ok(()),
+        }
     }
 }
 
@@ -614,7 +959,11 @@ mod tests {
             all.truncate(k);
             let mut naive = resolve_naive(&net, &all);
             naive.sort_by_key(|r| r.receiver);
-            for kind in [ResolverKind::Grid, ResolverKind::Aggregated] {
+            for kind in [
+                ResolverKind::Grid,
+                ResolverKind::Aggregated,
+                ResolverKind::Parallel,
+            ] {
                 let mut got = kind.build().resolve(&net, &all);
                 got.sort_by_key(|r| r.receiver);
                 assert_eq!(
@@ -643,7 +992,11 @@ mod tests {
             let tx: Vec<usize> = (0..n).filter(|_| rng.chance(0.25)).collect();
             let mut naive = resolve_naive(&net, &tx);
             naive.sort_by_key(|r| r.receiver);
-            for kind in [ResolverKind::Grid, ResolverKind::Aggregated] {
+            for kind in [
+                ResolverKind::Grid,
+                ResolverKind::Aggregated,
+                ResolverKind::Parallel,
+            ] {
                 let mut got = kind.build().resolve(&net, &tx);
                 got.sort_by_key(|r| r.receiver);
                 assert_eq!(
@@ -748,7 +1101,136 @@ mod tests {
             "AGG".parse::<ResolverKind>().unwrap(),
             ResolverKind::Aggregated
         );
-        assert!("fft".parse::<ResolverKind>().is_err());
+        assert_eq!(
+            "par".parse::<ResolverKind>().unwrap(),
+            ResolverKind::Parallel
+        );
+        let err = "fft".parse::<ResolverKind>().unwrap_err();
+        for name in ["naive", "grid", "aggregated", "parallel"] {
+            assert!(err.contains(name), "parse error must list '{name}': {err}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_byte_identical_across_thread_counts() {
+        let mut rng = Rng64::new(808);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.range_f64(0.0, 5.0), rng.range_f64(0.0, 5.0)))
+            .collect();
+        let net = net_of(pts);
+        let tx: Vec<usize> = (0..300).filter(|_| rng.chance(0.3)).collect();
+        let mut reference = AggregatedResolver::new();
+        let want = reference.resolve(&net, &tx);
+        for threads in [1, 2, 8] {
+            let mut par = ParallelResolver::with_threads(threads);
+            assert_eq!(par.threads(), threads.max(1));
+            assert_eq!(
+                par.resolve(&net, &tx),
+                want,
+                "parallel({threads} threads) diverged from aggregated"
+            );
+            par.audit(&net).expect("fresh field audits clean");
+        }
+    }
+
+    #[test]
+    fn persistent_parallel_tracks_an_evolving_transmitter_set() {
+        // Round after round with sparse churn: the patched field must keep
+        // producing exactly the receptions of a from-scratch backend, and
+        // the audit must confirm its grid equals a rebuild.
+        let mut rng = Rng64::new(4242);
+        let pts: Vec<Point> = (0..250)
+            .map(|_| Point::new(rng.range_f64(0.0, 4.0), rng.range_f64(0.0, 4.0)))
+            .collect();
+        let net = net_of(pts);
+        let mut tx: Vec<usize> = (0..250).filter(|_| rng.chance(0.4)).collect();
+        let mut par = ParallelResolver::with_threads(2);
+        let mut agg = AggregatedResolver::new();
+        for round in 0..25 {
+            // ~4 joins and ~4 leaves per round, keeping the set sorted.
+            for _ in 0..4 {
+                if tx.len() > 8 {
+                    tx.remove(rng.range_usize(tx.len()));
+                }
+                let joiner = rng.range_usize(250);
+                if let Err(pos) = tx.binary_search(&joiner) {
+                    tx.insert(pos, joiner);
+                }
+            }
+            assert_eq!(
+                par.resolve(&net, &tx),
+                agg.resolve(&net, &tx),
+                "round {round}: persistent parallel diverged"
+            );
+            par.audit(&net)
+                .unwrap_or_else(|e| panic!("round {round}: audit failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn persistent_field_survives_network_mutation() {
+        // A network mutation between rounds must invalidate the cached
+        // field (stamp mismatch → rebuild), not poison it.
+        let mut rng = Rng64::new(99);
+        let pts: Vec<Point> = (0..150)
+            .map(|_| Point::new(rng.range_f64(0.0, 3.0), rng.range_f64(0.0, 3.0)))
+            .collect();
+        let mut net = net_of(pts);
+        let tx: Vec<usize> = (0..150).filter(|_| rng.chance(0.35)).collect();
+        let mut par = ParallelResolver::with_threads(2);
+        let _ = par.resolve(&net, &tx); // seed the cache
+        net.move_node(3, Point::new(1.5, 1.5));
+        net.set_power(7, 2.0 * net.params().power);
+        assert_eq!(
+            par.resolve(&net, &tx),
+            AggregatedResolver::new().resolve(&net, &tx),
+            "stale cache leaked across a network mutation"
+        );
+        par.audit(&net).expect("rebuilt field audits clean");
+    }
+
+    #[test]
+    fn persistent_aggregated_matches_the_default_aggregated() {
+        let mut rng = Rng64::new(5150);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.range_f64(0.0, 4.0), rng.range_f64(0.0, 4.0)))
+            .collect();
+        let net = net_of(pts);
+        let mut persistent = AggregatedResolver::new().with_persistence();
+        let mut plain = AggregatedResolver::new();
+        for round in 0..10 {
+            let tx: Vec<usize> = (0..200).filter(|_| rng.chance(0.3)).collect();
+            assert_eq!(
+                persistent.resolve(&net, &tx),
+                plain.resolve(&net, &tx),
+                "round {round}: persistence changed receptions"
+            );
+            persistent.audit(&net).expect("audit");
+        }
+    }
+
+    #[test]
+    fn unsorted_transmitter_slices_bypass_the_cache_soundly() {
+        // Callers are allowed to pass unsorted sets (the equivalence suites
+        // do); the cache must rebuild rather than patch, and fallback
+        // summation order must follow caller order exactly.
+        let mut rng = Rng64::new(31337);
+        let pts: Vec<Point> = (0..180)
+            .map(|_| Point::new(rng.range_f64(0.0, 3.5), rng.range_f64(0.0, 3.5)))
+            .collect();
+        let net = net_of(pts);
+        let mut par = ParallelResolver::with_threads(2);
+        let mut agg = AggregatedResolver::new();
+        for round in 0..8 {
+            let mut tx: Vec<usize> = (0..180).collect();
+            rng.shuffle(&mut tx);
+            tx.truncate(60 + round);
+            assert_eq!(
+                par.resolve(&net, &tx),
+                agg.resolve(&net, &tx),
+                "round {round}: unsorted transmitter slice mishandled"
+            );
+        }
     }
 
     #[test]

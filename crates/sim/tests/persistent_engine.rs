@@ -1,0 +1,101 @@
+//! The persistent resolution engine must be invisible: running an
+//! [`Engine`] for N rounds over an evolving transmitter set, the parallel
+//! backend's sparsely-patched interference field (and the persistent
+//! aggregated backend's) must produce receptions identical to backends
+//! that rebuild from scratch every round — and the maintained field must
+//! audit as structurally identical to a rebuild after every step
+//! ([`Engine::audit_resolver`], the engine-level extension of the
+//! dynamics subsystem's `World::audit_incremental` pattern).
+
+use dcluster_sim::engine::FnBehavior;
+use dcluster_sim::rng::Rng64;
+use dcluster_sim::{
+    AggregatedResolver, Engine, Network, ParallelResolver, Point, Reception, ResolverKind,
+    SinrParams, SinrResolver,
+};
+use proptest::prelude::*;
+
+/// Pre-computes an evolving transmitter schedule: a membership vector
+/// mutated by `churn` random flips per round, so consecutive rounds differ
+/// by a small sparse diff (the regime the field cache patches).
+fn evolving_schedule(n: usize, rounds: usize, churn: usize, rng: &mut Rng64) -> Vec<Vec<bool>> {
+    let mut active: Vec<bool> = (0..n).map(|_| rng.chance(0.4)).collect();
+    let mut schedule = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        for _ in 0..churn {
+            let v = rng.range_usize(n);
+            active[v] = !active[v];
+        }
+        schedule.push(active.clone());
+    }
+    schedule
+}
+
+/// Runs `rounds` engine steps with the given resolver, recording each
+/// round's receptions and auditing the resolver's maintained state after
+/// every step.
+fn run_engine(
+    net: &Network,
+    resolver: Box<dyn SinrResolver>,
+    schedule: &[Vec<bool>],
+) -> Result<Vec<Vec<Reception>>, String> {
+    let mut engine = Engine::with_resolver(net, resolver);
+    let mut per_round = Vec::with_capacity(schedule.len());
+    for (r, active) in schedule.iter().enumerate() {
+        let mut b = FnBehavior {
+            tx: |_: &Network, v: usize, _: u64| active[v].then_some(0u8),
+            rx: |_: &Network, _: usize, _: u64, _: usize, _: &u8| {},
+        };
+        per_round.push(engine.step(&mut b));
+        engine
+            .audit_resolver()
+            .map_err(|e| format!("round {r}: resolver audit failed: {e}"))?;
+    }
+    Ok(per_round)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// N rounds of sparse field patching inside the engine equal a
+    /// rebuild-from-scratch every round, across all backends — the
+    /// parallel one at 1, 2 and 8 threads.
+    #[test]
+    fn persistent_backends_equal_fresh_rebuild_over_engine_rounds(
+        seed in 0u64..10_000,
+        n in 30usize..150,
+        churn in 1usize..8,
+    ) {
+        let mut rng = Rng64::new(seed ^ 0x9e37);
+        let side = (n as f64 / 12.0).sqrt().max(1.0) * 1.5;
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.range_f64(0.0, side), rng.range_f64(0.0, side)))
+            .collect();
+        let net = Network::builder(pts)
+            .params(SinrParams::default())
+            .build()
+            .expect("nonempty deployment");
+        let schedule = evolving_schedule(n, 12, churn, &mut rng);
+
+        // Rebuild-every-round references.
+        let naive = run_engine(&net, ResolverKind::Naive.build(), &schedule)?;
+        let grid = run_engine(&net, ResolverKind::Grid.build(), &schedule)?;
+        prop_assert_eq!(&naive, &grid, "grid diverged from naive");
+
+        // Persistent backends: patched field, audited every round.
+        let agg_persistent = run_engine(
+            &net,
+            Box::new(AggregatedResolver::new().with_persistence()),
+            &schedule,
+        )?;
+        prop_assert_eq!(&naive, &agg_persistent, "persistent aggregated diverged");
+        for threads in [1u32, 2, 8] {
+            let par = run_engine(
+                &net,
+                Box::new(ParallelResolver::with_threads(threads)),
+                &schedule,
+            )?;
+            prop_assert_eq!(&naive, &par, "parallel({}) diverged", threads);
+        }
+    }
+}

@@ -26,11 +26,15 @@ fn random_network(n: usize, side: f64, params: SinrParams, rng: &mut Rng64) -> N
         .expect("nonempty deployment")
 }
 
-/// Checks all three backends agree on one instance (error message on
-/// disagreement, for `?`-chaining inside proptest cases).
+/// Checks every backend agrees with the oracle on one instance (error
+/// message on disagreement, for `?`-chaining inside proptest cases).
 fn assert_three_way(net: &Network, tx: &[usize], label: &str) -> Result<(), String> {
     let naive = sorted(ResolverKind::Naive.build().resolve(net, tx));
-    for kind in [ResolverKind::Grid, ResolverKind::Aggregated] {
+    for kind in [
+        ResolverKind::Grid,
+        ResolverKind::Aggregated,
+        ResolverKind::Parallel,
+    ] {
         let got = sorted(kind.build().resolve(net, tx));
         if got != naive {
             return Err(format!(

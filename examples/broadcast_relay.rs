@@ -10,7 +10,7 @@ use dcluster::prelude::*;
 fn main() {
     let spec = ScenarioSpec::corridor("broadcast-relay", 77, 40, 10.0, 1.2, 0.5);
     let runner = Runner::new(spec);
-    let net = runner.build_network();
+    let net = runner.build_network().expect("example spec is valid");
     let d = net.comm_graph().diameter().expect("connected corridor");
     println!(
         "corridor: n = {}, D = {}, Δ = {}",
@@ -23,13 +23,15 @@ fn main() {
     let source = (0..net.len())
         .min_by(|&a, &b| net.pos(a).x.partial_cmp(&net.pos(b).x).unwrap())
         .unwrap();
-    let out = runner.run_on(
-        net.clone(),
-        &Workload::GlobalBroadcast {
-            source,
-            token: 0xBEEF,
-        },
-    );
+    let out = runner
+        .run_on(
+            net.clone(),
+            &Workload::GlobalBroadcast {
+                source,
+                token: 0xBEEF,
+            },
+        )
+        .expect("example spec is valid");
     let WorkloadOutcome::GlobalBroadcast {
         delivered_all,
         local_broadcast_ok,

@@ -14,7 +14,7 @@ fn main() {
         .max_id(10_000)
         .id_seed(3);
     let runner = Runner::new(spec);
-    let net = runner.build_network();
+    let net = runner.build_network().expect("example spec is valid");
     println!(
         "network: n = {}, Δ = {}, N (ID space) = {}",
         net.len(),
@@ -24,12 +24,14 @@ fn main() {
 
     // Theorem 4: three scattered nodes activate spontaneously.
     let spontaneous = vec![0, net.len() / 2, net.len() - 1];
-    let w = runner.run_on(
-        net.clone(),
-        &Workload::Wakeup {
-            sources: spontaneous.clone(),
-        },
-    );
+    let w = runner
+        .run_on(
+            net.clone(),
+            &Workload::Wakeup {
+                sources: spontaneous.clone(),
+            },
+        )
+        .expect("example spec is valid");
     let WorkloadOutcome::Wakeup { all_awake, centers } = w.outcome else {
         unreachable!("wakeup workload returns a wakeup outcome");
     };
@@ -42,7 +44,9 @@ fn main() {
     assert!(all_awake);
 
     // Theorem 5: leader election over the whole network.
-    let le = runner.run_on(net.clone(), &Workload::LeaderElection);
+    let le = runner
+        .run_on(net.clone(), &Workload::LeaderElection)
+        .expect("example spec is valid");
     let WorkloadOutcome::Leader { leader_id, probes } = le.outcome else {
         unreachable!("leader workload returns a leader outcome");
     };

@@ -12,7 +12,7 @@ fn main() {
     // spec could live in a `scenarios/*.scn` file (`spec.to_text()`).
     let spec = ScenarioSpec::uniform("quickstart", 2024, 60, 4.0);
     let runner = Runner::new(spec);
-    let net = runner.build_network();
+    let net = runner.build_network().expect("example spec is valid");
     println!(
         "network: n = {}, density Γ = {}, max degree Δ = {}",
         net.len(),
@@ -23,7 +23,9 @@ fn main() {
     // Theorem 1: deterministic 1-clustering, no randomness, no GPS. The
     // Runner picks the scale-aware default backend, overridable via
     // DCLUSTER_RESOLVER — the same selection path the bench binaries use.
-    let out = runner.run_on(net.clone(), &Workload::Clustering);
+    let out = runner
+        .run_on(net.clone(), &Workload::Clustering)
+        .expect("example spec is valid");
     let WorkloadOutcome::Clustering {
         cluster_of, report, ..
     } = &out.outcome

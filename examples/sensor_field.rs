@@ -27,7 +27,7 @@ fn main() {
         .layer(DeployLayer::Uniform { n: 40, side: 5.0 })
         .workload(Workload::LocalBroadcast);
     let runner = Runner::new(spec);
-    let net = runner.build_network();
+    let net = runner.build_network().expect("example spec is valid");
     let delta = net.max_degree().max(1);
     println!(
         "sensor field: n = {}, Γ = {}, Δ = {}",
@@ -37,7 +37,9 @@ fn main() {
     );
 
     // This work: deterministic local broadcast (Theorem 2).
-    let ours = runner.run_on(net.clone(), &Workload::LocalBroadcast);
+    let ours = runner
+        .run_on(net.clone(), &Workload::LocalBroadcast)
+        .expect("example spec is valid");
     let WorkloadOutcome::LocalBroadcast {
         complete,
         max_label,

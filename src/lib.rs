@@ -31,7 +31,9 @@
 //! let spec = ScenarioSpec::uniform("quickstart", 7, 40, 3.0);
 //!
 //! // Run the paper's Theorem 1 clustering through the unified Runner.
-//! let report = Runner::new(spec).run(&Workload::Clustering);
+//! let report = Runner::new(spec)
+//!     .run(&Workload::Clustering)
+//!     .expect("spec deploys fine");
 //!
 //! // Every node is in a cluster of radius ≤ 1 (the transmission range).
 //! let WorkloadOutcome::Clustering { report: quality, .. } = &report.outcome else {

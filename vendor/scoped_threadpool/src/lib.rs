@@ -1,0 +1,222 @@
+//! Minimal, dependency-free stand-in for the [`scoped_threadpool`] crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate reimplements the subset of the real crate's public
+//! surface the parallel SINR resolver uses:
+//!
+//! * [`Pool::new`] / [`Pool::thread_count`];
+//! * [`Pool::scoped`] with a [`Scope`] whose [`Scope::execute`] closures
+//!   may borrow stack data of the calling frame (the `'scope` lifetime);
+//! * [`Scope::join_all`], which blocks until every queued job has run.
+//!
+//! Semantics differ from the real crate in one deliberate way: workers are
+//! not kept alive between `scoped` calls. Jobs are queued while the scope
+//! closure runs and executed — on `join_all` or at scope exit — by
+//! `min(threads, jobs)` threads spawned under [`std::thread::scope`],
+//! draining a shared queue. For the coarse-grained, few-jobs-per-round
+//! batches this workspace submits, per-scope spawning is noise next to the
+//! work itself, and the API stays drop-in swappable for the real crate.
+//!
+//! Everything is safe code: scoped borrows are expressed through
+//! [`std::thread::scope`] rather than the real crate's unsafe queue. A
+//! panicking job propagates its panic to the caller (after the remaining
+//! jobs in flight finish), matching the real crate's behavior.
+//!
+//! [`scoped_threadpool`]: https://crates.io/crates/scoped_threadpool
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+/// A thread pool capable of running scoped jobs that borrow from the
+/// caller's stack frame.
+#[derive(Debug)]
+pub struct Pool {
+    threads: u32,
+}
+
+impl Pool {
+    /// Creates a pool that will run jobs on up to `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero (mirrors the real crate).
+    pub fn new(threads: u32) -> Pool {
+        assert!(threads >= 1, "a thread pool needs at least one thread");
+        Pool { threads }
+    }
+
+    /// The number of threads this pool runs jobs on.
+    pub fn thread_count(&self) -> u32 {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`]; every job queued via [`Scope::execute`]
+    /// is guaranteed to have completed when `scoped` returns, so jobs may
+    /// borrow (even mutably, disjointly) from the caller's stack.
+    pub fn scoped<'pool, 'scope, F, R>(&'pool mut self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: std::marker::PhantomData::<&'pool ()>,
+            threads: self.threads,
+            jobs: RefCell::new(Vec::new()),
+        };
+        let r = f(&scope);
+        scope.join_all();
+        r
+    }
+}
+
+/// Handle for queueing jobs onto a [`Pool`] from inside [`Pool::scoped`].
+pub struct Scope<'pool, 'scope> {
+    pool: std::marker::PhantomData<&'pool ()>,
+    threads: u32,
+    jobs: RefCell<Vec<Job<'scope>>>,
+}
+
+impl<'pool, 'scope> Scope<'pool, 'scope> {
+    /// Queues a job. Jobs run on the pool's threads no later than when the
+    /// surrounding [`Pool::scoped`] call returns (or on the next
+    /// [`Scope::join_all`], whichever comes first).
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.jobs.borrow_mut().push(Box::new(f));
+    }
+
+    /// Runs every queued job to completion, on up to the pool's thread
+    /// count. Returns once all of them have finished; a panicking job
+    /// re-panics here after the batch drains.
+    pub fn join_all(&self) {
+        let jobs = std::mem::take(&mut *self.jobs.borrow_mut());
+        run_batch(self.threads as usize, jobs);
+    }
+}
+
+/// Executes `jobs` on up to `threads` OS threads. Single-thread pools and
+/// single-job batches run inline on the caller's thread — no spawn, no
+/// synchronization — which is also what keeps 1-thread parallel resolvers
+/// allocation- and contention-free.
+fn run_batch(threads: usize, jobs: Vec<Job<'_>>) {
+    if threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    let workers = threads.min(jobs.len());
+    let queue = Mutex::new(jobs.into_iter());
+    // First panic payload, if any: re-raised on the caller's thread so the
+    // original message survives (std::thread::scope alone would replace it
+    // with a generic "a scoped thread panicked").
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                // Hold the lock only while popping: a panicking job cannot
+                // poison the queue, so the rest of the batch still drains.
+                let job = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                match job {
+                    Some(job) => {
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                            panicked
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .get_or_insert(payload);
+                        }
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    if let Some(payload) = panicked.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_mutate_disjoint_slices() {
+        let mut data = vec![0u64; 64];
+        let mut pool = Pool::new(4);
+        pool.scoped(|scope| {
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                scope.execute(move || {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        *x = (i * 16 + j) as u64;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        for threads in [1, 2, 8] {
+            count.store(0, Ordering::SeqCst);
+            let mut pool = Pool::new(threads);
+            assert_eq!(pool.thread_count(), threads);
+            pool.scoped(|scope| {
+                for _ in 0..100 {
+                    scope.execute(|| {
+                        count.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(count.load(Ordering::SeqCst), 100, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn join_all_completes_queued_jobs_mid_scope() {
+        let count = AtomicUsize::new(0);
+        let mut pool = Pool::new(2);
+        pool.scoped(|scope| {
+            for _ in 0..10 {
+                scope.execute(|| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            scope.join_all();
+            assert_eq!(count.load(Ordering::SeqCst), 10);
+        });
+    }
+
+    #[test]
+    fn scoped_returns_the_closure_value() {
+        let mut pool = Pool::new(2);
+        let got = pool.scoped(|_| 42);
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "job panicked")]
+    fn a_panicking_job_propagates() {
+        let mut pool = Pool::new(2);
+        pool.scoped(|scope| {
+            scope.execute(|| panic!("job panicked"));
+            scope.execute(|| {});
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_is_rejected() {
+        let _ = Pool::new(0);
+    }
+}
