@@ -50,7 +50,7 @@ pub struct LocalOutcome {
     /// Whether every node's message reached all its comm-graph neighbors.
     pub complete: bool,
     /// `heard_by[v]` = receivers of `v`'s message.
-    pub heard_by: Vec<HashSet<usize>>,
+    pub heard_by: Vec<HashSet<usize>>, // lint:allow(D1, reason = "delivery-witness set; membership queries only")
     /// Total transmissions (energy proxy).
     pub transmissions: u64,
 }

@@ -193,7 +193,7 @@ fn main() {
                 );
             }
 
-            let mut timed = std::collections::HashMap::new();
+            let mut timed = std::collections::HashMap::new(); // lint:allow(D1, reason = "keyed by backend; read back by key in fixed list order")
             for kind in [ResolverKind::Aggregated, ResolverKind::Parallel] {
                 let (millis, receptions) = time_kind(&net, kind, &tx_sets);
                 timed.insert(kind, millis);

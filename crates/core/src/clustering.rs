@@ -152,6 +152,7 @@ pub fn clustering(
             let old: Vec<u64> = {
                 let mut o = vec![0u64; n];
                 for &v in &accum {
+                    // lint:allow(P1, reason = "invariant: accumulated nodes are clustered")
                     o[v] = cluster_of[v].expect("accumulated nodes are clustered");
                 }
                 o

@@ -82,7 +82,7 @@ pub fn sms_broadcast(
 
     let mut awake = vec![false; n];
     let mut cluster_of: Vec<Option<u64>> = vec![None; n];
-    let mut heard_by: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    let mut heard_by: Vec<HashSet<usize>> = vec![HashSet::new(); n]; // lint:allow(D1, reason = "delivery-witness sets; membership queries only")
     let mut phases: Vec<PhaseRecord> = Vec::new();
 
     // Phase 0 (Alg. 8 lines 1–2): sources transmit via SNS; receivers wake

@@ -13,7 +13,7 @@
 use crate::msg::Msg;
 use crate::sparsify::LevelsOutcome;
 use dcluster_sim::engine::Engine;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The labeling produced by [`imperfect_labeling`].
 #[derive(Debug, Clone)]
@@ -34,7 +34,7 @@ impl Labeling {
     /// imperfection constant `c` actually achieved (Lemma 11 promises
     /// `O(1)`).
     pub fn imperfection(&self, cluster_of: &[u64]) -> usize {
-        let mut counts: HashMap<(u64, u32), usize> = HashMap::new();
+        let mut counts: BTreeMap<(u64, u32), usize> = BTreeMap::new();
         for (v, &l) in self.label.iter().enumerate() {
             if l > 0 {
                 *counts.entry((cluster_of[v], l)).or_insert(0) += 1;
@@ -56,8 +56,8 @@ pub fn imperfect_labeling(engine: &mut Engine<'_>, out: &LevelsOutcome, kappa: u
     // Children of each parent within each unit, and the parent's full
     // ordered child list (acquisition order: by unit, then by child ID) —
     // the parent knows both from the `Parent` messages it received.
-    let mut children_in_unit: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
-    let mut all_children: HashMap<usize, Vec<(usize, usize)>> = HashMap::new(); // parent → [(unit, child)]
+    let mut children_in_unit: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    let mut all_children: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new(); // parent → [(unit, child)]
     for l in &out.links {
         children_in_unit
             .entry((l.parent, l.unit))
@@ -80,7 +80,7 @@ pub fn imperfect_labeling(engine: &mut Engine<'_>, out: &LevelsOutcome, kappa: u
     // guarantees a node hears all its children before its own turn.
     let mut size: Vec<u32> = vec![1; n];
     for (u_idx, unit) in out.units.iter().enumerate() {
-        let sends: HashSet<usize> = out
+        let sends: BTreeSet<usize> = out
             .links
             .iter()
             .filter(|l| l.unit == u_idx)
@@ -91,7 +91,7 @@ pub fn imperfect_labeling(engine: &mut Engine<'_>, out: &LevelsOutcome, kappa: u
         }
         let net = engine.network();
         let size_snapshot = size.clone();
-        let mut credited: HashSet<(usize, usize)> = HashSet::new(); // (parent, child)
+        let mut credited: BTreeSet<(usize, usize)> = BTreeSet::new(); // (parent, child)
         let parent_ref = &parent;
         let sends_ref = &sends;
         let mut add: Vec<(usize, u32)> = Vec::new();
@@ -126,7 +126,7 @@ pub fn imperfect_labeling(engine: &mut Engine<'_>, out: &LevelsOutcome, kappa: u
         debug_assert!(
             sends
                 .iter()
-                .all(|&c| credited.contains(&(parent[c].unwrap(), c))),
+                .all(|&c| credited.contains(&(parent[c].unwrap(), c))), // lint:allow(P1, reason = "inside an invariant assertion; every send has a parent")
             "a subtree-size message failed to reach its parent"
         );
     }

@@ -28,7 +28,7 @@ use crate::clustering::clustering;
 use crate::params::ProtocolParams;
 use crate::run::SeedSeq;
 use dcluster_sim::{Engine, Network, ResolverKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Bounds that turn clustering-quality measurements into violation counts.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,7 +101,7 @@ pub struct MaintenanceDriver {
     params: ProtocolParams,
     config: MaintenanceConfig,
     /// Center ID → epoch its current consecutive-center streak started.
-    streaks: HashMap<u64, u64>,
+    streaks: BTreeMap<u64, u64>,
     finished_lifetimes: Vec<u64>,
     epochs: u64,
     total_rounds: u64,
@@ -121,7 +121,7 @@ impl MaintenanceDriver {
         Self {
             params,
             config,
-            streaks: HashMap::new(),
+            streaks: BTreeMap::new(),
             finished_lifetimes: Vec::new(),
             epochs: 0,
             total_rounds: 0,
@@ -157,7 +157,7 @@ impl MaintenanceDriver {
 
         // Lifetime / re-election accounting over center-node IDs.
         let epoch = self.epochs;
-        let centers: std::collections::HashSet<u64> =
+        let centers: std::collections::BTreeSet<u64> =
             cl.centers.iter().map(|&c| net.id(c)).collect();
         let retained = centers
             .iter()
@@ -172,7 +172,7 @@ impl MaintenanceDriver {
             .copied()
             .collect();
         for c in dethroned {
-            let birth = self.streaks.remove(&c).expect("key just listed");
+            let birth = self.streaks.remove(&c).expect("key just listed"); // lint:allow(P1, reason = "key just listed from the same map")
             self.finished_lifetimes.push(epoch - birth);
         }
         for &c in &centers {

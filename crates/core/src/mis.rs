@@ -22,7 +22,7 @@ use crate::msg::Msg;
 use crate::run::ReplayUnit;
 use dcluster_selectors::cff::{linial_fixed_point, CoverFreeFamily};
 use dcluster_sim::engine::Engine;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which LOCAL MIS algorithm to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,7 +40,11 @@ pub enum MisStrategy {
 /// independent set containing the minimum of every component — exactly what
 /// clustered `Sparsification` needs (Lemma 8). Zero communication: nodes
 /// already know their neighbors' IDs from the exchange phase.
-pub fn local_minima(ids: &[u64], members: &[usize], adj: &HashMap<usize, Vec<usize>>) -> Vec<bool> {
+pub fn local_minima(
+    ids: &[u64],
+    members: &[usize],
+    adj: &BTreeMap<usize, Vec<usize>>,
+) -> Vec<bool> {
     let mut sel = vec![false; ids.len()];
     for &v in members {
         let nbrs = adj.get(&v).map_or(&[][..], |l| l.as_slice());
@@ -65,7 +69,7 @@ pub fn local_mis(
     engine: &mut Engine<'_>,
     unit: &ReplayUnit,
     members: &[usize],
-    adj: &HashMap<usize, Vec<usize>>,
+    adj: &BTreeMap<usize, Vec<usize>>,
     degree_bound: usize,
     max_id: u64,
     strategy: MisStrategy,
@@ -81,7 +85,7 @@ pub fn local_mis(
 fn exchange_states(
     engine: &mut Engine<'_>,
     unit: &ReplayUnit,
-    adj: &HashMap<usize, Vec<usize>>,
+    adj: &BTreeMap<usize, Vec<usize>>,
     msg_of: &[Msg],
 ) -> Vec<Vec<(usize, Msg)>> {
     let n = engine.network().len();
@@ -104,7 +108,7 @@ fn greedy_mis(
     engine: &mut Engine<'_>,
     unit: &ReplayUnit,
     members: &[usize],
-    adj: &HashMap<usize, Vec<usize>>,
+    adj: &BTreeMap<usize, Vec<usize>>,
 ) -> Vec<bool> {
     let net = engine.network();
     let n = net.len();
@@ -172,7 +176,7 @@ fn linial_mis(
     engine: &mut Engine<'_>,
     unit: &ReplayUnit,
     members: &[usize],
-    adj: &HashMap<usize, Vec<usize>>,
+    adj: &BTreeMap<usize, Vec<usize>>,
     degree_bound: usize,
     max_id: u64,
 ) -> Vec<bool> {
@@ -205,7 +209,7 @@ fn linial_mis(
             nbr_colors.dedup();
             color[v] = cff
                 .select_free(color[v], &nbr_colors)
-                .expect("proper coloring maintained by induction");
+                .expect("proper coloring maintained by induction"); // lint:allow(P1, reason = "invariant: coloring stays proper by induction")
         }
         let next = cff.ground_size();
         if next >= m {
@@ -271,7 +275,7 @@ mod tests {
     use dcluster_sim::rng::Rng64;
     use dcluster_sim::{deploy, Network};
 
-    fn check_mis(adj: &HashMap<usize, Vec<usize>>, n: usize, sel: &[bool], members: &[usize]) {
+    fn check_mis(adj: &BTreeMap<usize, Vec<usize>>, n: usize, sel: &[bool], members: &[usize]) {
         let mut g = Graph::new(n);
         for (&v, l) in adj {
             for &u in l {
@@ -299,7 +303,7 @@ mod tests {
     #[test]
     fn local_minima_is_independent_and_hits_components() {
         let ids = vec![5u64, 3, 9, 1, 7];
-        let mut adj = HashMap::new();
+        let mut adj = BTreeMap::new();
         adj.insert(0, vec![1]);
         adj.insert(1, vec![0, 2]);
         adj.insert(2, vec![1]);
@@ -372,7 +376,7 @@ mod tests {
         let mut engine = Engine::new(&net);
         let members: Vec<usize> = (0..net.len()).collect();
         // Empty adjacency: everyone is isolated, everyone joins.
-        let adj: HashMap<usize, Vec<usize>> = members.iter().map(|&v| (v, vec![])).collect();
+        let adj: BTreeMap<usize, Vec<usize>> = members.iter().map(|&v| (v, vec![])).collect();
         let mut seeds = SeedSeq::new(params.seed);
         let wss = crate::run::fresh_wss(&params, &mut seeds, net.max_id());
         let unit = ReplayUnit::snapshot(

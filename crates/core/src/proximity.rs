@@ -23,7 +23,7 @@ use crate::msg::Msg;
 use crate::params::ProtocolParams;
 use crate::run::{fresh_wcss, fresh_wss, ReplayUnit, SchedHandle, SeedSeq};
 use dcluster_sim::engine::Engine;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Output of Algorithm 1: the proximity graph and the replayable exchange
 /// schedule (used later for tree communication and MIS simulation).
@@ -33,7 +33,7 @@ pub struct Proximity {
     pub unit: ReplayUnit,
     /// Adjacency of `H` (node index → sorted neighbor indices). Only
     /// participating nodes appear as keys.
-    pub adj: HashMap<usize, Vec<usize>>,
+    pub adj: BTreeMap<usize, Vec<usize>>,
 }
 
 impl Proximity {
@@ -177,7 +177,7 @@ pub fn build_proximity_graph(
     }
 
     // Ev = {w ∈ Cv | v ∈ Cw}: candidates that confirmed us.
-    let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for &v in members {
         let mut ev: Vec<usize> = candidates[v]
             .iter()
@@ -196,7 +196,7 @@ pub fn build_proximity_graph(
             let lu = adj.entry(u).or_default();
             if lu.binary_search(&v).is_err() {
                 // v confirmed u but u's list lacks v: drop the asymmetric edge.
-                let lv = adj.get_mut(&v).unwrap();
+                let lv = adj.get_mut(&v).unwrap(); // lint:allow(P1, reason = "key inserted for every node above")
                 if let Ok(pos) = lv.binary_search(&u) {
                     lv.remove(pos);
                 }

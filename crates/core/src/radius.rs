@@ -18,7 +18,7 @@ use crate::sns::run_sns;
 use crate::sparsify::full_sparsification;
 use dcluster_sim::engine::Engine;
 use dcluster_sim::metrics::chi_upper;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Result of a radius reduction.
 #[derive(Debug, Clone)]
@@ -70,15 +70,15 @@ pub fn radius_reduction(
             cluster: old_cluster[v],
         });
         let pairs = hello.delivered_pairs();
-        let in_xk: HashSet<usize> = xk.iter().copied().collect();
-        let mut adj: HashMap<usize, Vec<usize>> = xk.iter().map(|&v| (v, Vec::new())).collect();
+        let in_xk: BTreeSet<usize> = xk.iter().copied().collect();
+        let mut adj: BTreeMap<usize, Vec<usize>> = xk.iter().map(|&v| (v, Vec::new())).collect();
         for &(a, b) in &pairs {
             if a < b || !pairs.contains(&(b, a)) {
                 continue; // handle each mutual pair once, from the (a>b) side
             }
             if in_xk.contains(&a) && in_xk.contains(&b) {
-                adj.get_mut(&a).unwrap().push(b);
-                adj.get_mut(&b).unwrap().push(a);
+                adj.get_mut(&a).unwrap().push(b); // lint:allow(P1, reason = "keys inserted for all of in_xk above")
+                adj.get_mut(&b).unwrap().push(a); // lint:allow(P1, reason = "keys inserted for all of in_xk above")
             }
         }
         for l in adj.values_mut() {
@@ -107,7 +107,7 @@ pub fn radius_reduction(
             newcluster[v] = Some(net.id(v));
             centers.push(v);
         }
-        let in_x: HashSet<usize> = remaining.iter().copied().collect();
+        let in_x: BTreeSet<usize> = remaining.iter().copied().collect();
         for &(recv, _sender, msg) in &claim.receptions {
             if let Msg::ClusterOf { cluster, .. } = msg {
                 if in_x.contains(&recv) && newcluster[recv].is_none() {

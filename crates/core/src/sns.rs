@@ -25,6 +25,7 @@ pub struct SnsRun {
 
 impl SnsRun {
     /// Distinct `(receiver, sender)` pairs.
+    // lint:allow(D1, reason = "order-free pair set; compared by membership")
     pub fn delivered_pairs(&self) -> std::collections::HashSet<(usize, usize)> {
         self.receptions.iter().map(|&(r, s, _)| (r, s)).collect()
     }

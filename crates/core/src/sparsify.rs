@@ -203,7 +203,7 @@ pub struct LevelsOutcome {
 impl LevelsOutcome {
     /// The final (sparsest) level.
     pub fn last(&self) -> &[usize] {
-        self.levels.last().expect("at least the input level")
+        self.levels.last().expect("at least the input level") // lint:allow(P1, reason = "levels always holds the input level")
     }
 
     /// Parent array over the whole network (None = root or non-member).
@@ -337,7 +337,7 @@ pub fn subset_density(engine: &Engine<'_>, subset: &[usize]) -> usize {
 
 /// Largest per-cluster population of a subset.
 pub fn max_cluster_size(subset: &[usize], cluster_of: &[u64]) -> usize {
-    let mut counts = std::collections::HashMap::new();
+    let mut counts = std::collections::BTreeMap::new();
     for &v in subset {
         *counts.entry(cluster_of[v]).or_insert(0usize) += 1;
     }

@@ -73,12 +73,13 @@ impl Stack {
         engine: &mut Engine<'_>,
         seeds: &mut SeedSeq,
         payload: impl Fn(usize) -> u64,
+        // lint:allow(D1, reason = "delivery-witness sets; membership queries only")
     ) -> (u64, Vec<HashSet<usize>>) {
         let start = engine.round();
         let net = engine.network();
         let n = net.len();
         let cluster_of = self.clustering.cluster_or_id_all(net);
-        let mut heard_by: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+        let mut heard_by: Vec<HashSet<usize>> = vec![HashSet::new(); n]; // lint:allow(D1, reason = "delivery-witness sets; membership queries only")
         let max_label = self.labeling.max_label();
         for l in 1..=max_label {
             let members: Vec<usize> = (0..n).filter(|&v| self.labeling.label[v] == l).collect();
@@ -100,6 +101,7 @@ impl Stack {
 
     /// Convenience: did the last round's deliveries cover the whole
     /// communication graph?
+    // lint:allow(D1, reason = "delivery-witness sets; membership queries only")
     pub fn complete(&self, engine: &Engine<'_>, heard_by: &[HashSet<usize>]) -> bool {
         missing_deliveries(engine.network(), heard_by).is_empty()
     }

@@ -36,6 +36,7 @@ pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[V
 /// The directory CSV artifacts go to: `$DCLUSTER_RESULTS_DIR` when set,
 /// else `results/` relative to the CWD the harness is launched from.
 pub fn results_dir() -> PathBuf {
+    // lint:allow(D4, reason = "documented override: DCLUSTER_RESULTS_DIR")
     match std::env::var("DCLUSTER_RESULTS_DIR") {
         Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
         _ => PathBuf::from("results"),

@@ -91,6 +91,7 @@ impl std::str::FromStr for Scale {
 /// Scale knob for experiment sizes: `DCLUSTER_SCALE=ci|quick|full`
 /// (default quick; unknown values fall back to quick).
 pub fn scale() -> Scale {
+    // lint:allow(D4, reason = "documented override: DCLUSTER_SCALE")
     match std::env::var("DCLUSTER_SCALE").as_deref() {
         Ok("ci") => Scale::Ci,
         Ok("full") => Scale::Full,

@@ -424,7 +424,7 @@ impl Runner {
                     world.step(&mut models);
                     world
                         .audit_incremental()
-                        .expect("incremental world maintenance must equal a rebuild");
+                        .expect("incremental world maintenance must equal a rebuild"); // lint:allow(P1, reason = "audit failure is a bug, not bad input")
                     let awake = world.awake_nodes();
                     reports.push(driver.epoch(world.network(), kind, &mut seeds, &awake));
                 }

@@ -197,7 +197,7 @@ impl InterferenceField {
         let pos = self
             .tx
             .binary_search(&(t as u32))
-            .unwrap_or_else(|_| panic!("transmitter {t} not stored in the field"));
+            .unwrap_or_else(|_| panic!("transmitter {t} not stored in the field")); // lint:allow(P1, reason = "caller guarantees t is a stored transmitter")
         self.tx.remove(pos);
     }
 

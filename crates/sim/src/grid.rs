@@ -31,7 +31,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Grid {
     cell: f64,
-    cells: HashMap<(i64, i64), Vec<u32>>,
+    cells: HashMap<(i64, i64), Vec<u32>>, // lint:allow(D1, reason = "cell buckets: keyed hot-path lookups, never iterated")
 }
 
 /// Result of [`Grid::two_nearest_within`]: the two nearest stored points,
@@ -65,7 +65,7 @@ impl Grid {
             cell > 0.0 && cell.is_finite(),
             "grid cell size must be positive"
         );
-        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new(); // lint:allow(D1, reason = "cell buckets: keyed hot-path lookups, never iterated")
         for (i, p) in points.iter().enumerate() {
             cells.entry(Self::key(p, cell)).or_default().push(i as u32);
         }
@@ -83,7 +83,7 @@ impl Grid {
             cell > 0.0 && cell.is_finite(),
             "grid cell size must be positive"
         );
-        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new(); // lint:allow(D1, reason = "cell buckets: keyed hot-path lookups, never iterated")
         for &i in subset {
             cells
                 .entry(Self::key(&points[i], cell))
@@ -211,10 +211,10 @@ impl Grid {
         let members = self
             .cells
             .get_mut(&key)
-            .unwrap_or_else(|| panic!("removing {i} from an empty cell {key:?}"));
+            .unwrap_or_else(|| panic!("removing {i} from an empty cell {key:?}")); // lint:allow(P1, reason = "grid/point desync is a bug, not bad input")
         let pos = members
             .binary_search(&(i as u32))
-            .unwrap_or_else(|_| panic!("point {i} not stored in cell {key:?}"));
+            .unwrap_or_else(|_| panic!("point {i} not stored in cell {key:?}")); // lint:allow(P1, reason = "grid/point desync is a bug, not bad input")
         members.remove(pos);
         if members.is_empty() {
             self.cells.remove(&key);

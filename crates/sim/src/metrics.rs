@@ -54,14 +54,14 @@ pub fn density_unclustered(points: &[Point], unit: f64) -> usize {
     (0..points.len())
         .map(|v| grid.count_within(points, points[v], unit))
         .max()
-        .unwrap()
+        .unwrap() // lint:allow(P1, reason = "empty subset is a caller bug, not runtime input")
 }
 
 /// Density of a *clustered* set: the largest cluster size (paper §2).
 /// `cluster_of[i]` is the cluster of point `i`; `None` entries (nodes not in
 /// any cluster) are ignored.
 pub fn density_clustered(cluster_of: &[Option<u64>]) -> usize {
-    let mut counts = std::collections::HashMap::new();
+    let mut counts = std::collections::BTreeMap::new();
     for c in cluster_of.iter().flatten() {
         *counts.entry(*c).or_insert(0usize) += 1;
     }

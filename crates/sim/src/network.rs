@@ -115,7 +115,7 @@ pub struct Network {
     non_model_power: usize,
     grid: Grid,
     comm: Graph,
-    id_to_idx: HashMap<u64, usize>,
+    id_to_idx: HashMap<u64, usize>, // lint:allow(D1, reason = "id-to-index lookup table; never iterated")
     /// Mutation stamp: process-globally unique, replaced on every
     /// geometry/power mutation. See [`Network::stamp`].
     stamp: u64,
@@ -470,7 +470,7 @@ impl NetworkBuilder {
                     .collect()
             }
         };
-        let mut id_to_idx = HashMap::with_capacity(n);
+        let mut id_to_idx = HashMap::with_capacity(n); // lint:allow(D1, reason = "id-to-index lookup table; never iterated")
         for (i, &id) in ids.iter().enumerate() {
             if id == 0 || id > max_id.max(ids.len() as u64) {
                 return Err(NetworkError::IdOutOfRange(id));

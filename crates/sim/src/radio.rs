@@ -122,6 +122,7 @@ impl ResolverKind {
     /// backend — when set to an unknown name. A typo is never silently
     /// ignored.
     pub fn from_env() -> Result<Option<ResolverKind>, String> {
+        // lint:allow(D4, reason = "documented override: DCLUSTER_RESOLVER")
         match std::env::var("DCLUSTER_RESOLVER") {
             Ok(v) => v
                 .parse()
@@ -255,7 +256,7 @@ impl FieldCache {
     pub fn obtain(&mut self, net: &Network, transmitters: &[usize]) -> &InterferenceField {
         let sorted = transmitters.windows(2).all(|w| w[0] < w[1]);
         if sorted && self.stamp == net.stamp() && self.try_patch(net, transmitters) {
-            return self.field.as_ref().expect("patched field is cached");
+            return self.field.as_ref().expect("patched field is cached"); // lint:allow(P1, reason = "cache hit just verified by try_patch")
         }
         // Rebuild. An unsorted transmitter slice must not seed later
         // patches (patching keeps the list sorted, which would silently
@@ -616,10 +617,11 @@ impl SinrResolver for AggregatedResolver {
 /// Panics when `DCLUSTER_THREADS` is set to anything but a positive
 /// integer — a typo must not silently fall back to a default.
 fn threads_from_env() -> u32 {
+    // lint:allow(D4, reason = "documented override: DCLUSTER_THREADS")
     match std::env::var("DCLUSTER_THREADS") {
         Ok(v) => match v.trim().parse::<u32>() {
             Ok(t) if t >= 1 => t,
-            _ => panic!("DCLUSTER_THREADS: expected a positive integer, got '{v}'"),
+            _ => panic!("DCLUSTER_THREADS: expected a positive integer, got '{v}'"), // lint:allow(P1, reason = "documented: a bad DCLUSTER_THREADS must fail loudly, not default")
         },
         Err(_) => std::thread::available_parallelism()
             .map(|n| n.get() as u32)

@@ -149,7 +149,7 @@ impl Rng64 {
             all
         } else {
             // Sparse case: rejection sampling with a set.
-            let mut seen = std::collections::HashSet::with_capacity(k * 2);
+            let mut seen = std::collections::HashSet::with_capacity(k * 2); // lint:allow(D1, reason = "rejection-sampling dedup; output order set by the draw sequence")
             let mut out = Vec::with_capacity(k);
             while out.len() < k {
                 let v = self.range_u64(n);

@@ -1,0 +1,147 @@
+//! Deterministic stress harness for the parallel resolver's scheduling:
+//! adversarial receiver counts (straddling every chunk boundary), thread
+//! counts from degenerate to oversubscribed, and edge transmitter sets.
+//! The contract under test is merge-order invariance — the chunk-ordered
+//! merge must make [`ParallelResolver`] byte-identical to the sequential
+//! [`AggregatedResolver`] for *every* thread count, every round, with and
+//! without cross-round field persistence.
+//!
+//! The companion CI job runs this file under ThreadSanitizer (see
+//! `tsan-parallel` in `.github/workflows/ci.yml`): the assertions here
+//! check determinism, TSan checks the pool's synchronization.
+
+use dcluster_sim::rng::Rng64;
+use dcluster_sim::{
+    AggregatedResolver, Network, ParallelResolver, Point, Reception, SinrParams, SinrResolver,
+};
+
+/// Thread counts under test: inline path (1), typical (2), the CI floor
+/// (8), odd counts that leave ragged chunk remainders, and an
+/// oversubscribed pool (more workers than chunks for small n).
+const THREADS: &[u32] = &[1, 2, 3, 5, 8, 16];
+
+fn random_network(n: usize, seed: u64) -> Network {
+    let mut rng = Rng64::new(seed);
+    let side = (n as f64 / 10.0).sqrt().max(1.0) * 1.4;
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.range_f64(0.0, side), rng.range_f64(0.0, side)))
+        .collect();
+    Network::builder(pts)
+        .params(SinrParams::default())
+        .build()
+        .expect("nonempty deployment")
+}
+
+fn resolve(resolver: &mut dyn SinrResolver, net: &Network, tx: &[usize]) -> Vec<Reception> {
+    let mut out = Vec::new();
+    resolver.resolve_into(net, tx, &mut out);
+    out
+}
+
+/// Runs one transmitter set through the sequential reference and through
+/// the parallel backend at every thread count, asserting exact equality.
+fn assert_invariant(net: &Network, tx: &[usize], what: &str) {
+    let reference = resolve(&mut AggregatedResolver::new(), net, tx);
+    for &t in THREADS {
+        let got = resolve(&mut ParallelResolver::with_threads(t), net, tx);
+        assert_eq!(
+            got,
+            reference,
+            "{what}: parallel({t}) diverged from aggregated (n={}, |tx|={})",
+            net.len(),
+            tx.len()
+        );
+    }
+}
+
+/// Receiver counts chosen to straddle the sharding boundaries: the chunk
+/// count is `min(threads * 4, n)`, so for every thread count in
+/// [`THREADS`] these values hit "fewer receivers than chunks", "exactly
+/// chunks", and "chunks + 1" (ragged last chunk) at least once.
+const ADVERSARIAL_N: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 9, 12, 13, 20, 31, 32, 33, 63, 64, 65];
+
+#[test]
+fn chunk_boundary_sizes_merge_identically() {
+    for (i, &n) in ADVERSARIAL_N.iter().enumerate() {
+        let net = random_network(n, 0xC0FFEE ^ (i as u64) << 8);
+        let all: Vec<usize> = (0..n).collect();
+        let evens: Vec<usize> = (0..n).step_by(2).collect();
+        assert_invariant(&net, &all, "all transmit");
+        assert_invariant(&net, &evens, "evens transmit");
+    }
+}
+
+#[test]
+fn edge_transmitter_sets_merge_identically() {
+    for &n in &[1usize, 2, 5, 33] {
+        let net = random_network(n, 0xBEEF + n as u64);
+        assert_invariant(&net, &[], "empty transmitter set");
+        assert_invariant(&net, &[0], "first node only");
+        assert_invariant(&net, &[n - 1], "last node only");
+        let all: Vec<usize> = (0..n).collect();
+        assert_invariant(&net, &all, "every node transmits");
+    }
+}
+
+/// Sparse per-round flips: the regime where the persistent field cache
+/// patches instead of rebuilding, so the chunk merge runs over a reused
+/// field. Every backend variant must agree on every round.
+#[test]
+fn multi_round_persistence_is_merge_order_invariant() {
+    let n = 70;
+    let rounds = 20;
+    let net = random_network(n, 0xD15EA5E);
+    let mut rng = Rng64::new(0xFEED);
+    let mut active: Vec<bool> = (0..n).map(|_| rng.chance(0.35)).collect();
+    let mut schedule: Vec<Vec<usize>> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        for _ in 0..4 {
+            let v = rng.range_usize(n);
+            active[v] = !active[v];
+        }
+        schedule.push((0..n).filter(|&v| active[v]).collect());
+    }
+
+    let mut reference = AggregatedResolver::new();
+    let mut fresh: Vec<ParallelResolver> = THREADS
+        .iter()
+        .map(|&t| ParallelResolver::with_threads(t).without_persistence())
+        .collect();
+    let mut persistent: Vec<ParallelResolver> = THREADS
+        .iter()
+        .map(|&t| ParallelResolver::with_threads(t))
+        .collect();
+    for (round, tx) in schedule.iter().enumerate() {
+        let expected = resolve(&mut reference, &net, tx);
+        for (resolver, &t) in fresh.iter_mut().zip(THREADS) {
+            let got = resolve(resolver, &net, tx);
+            assert_eq!(
+                got, expected,
+                "round {round}: fresh parallel({t}) diverged from aggregated"
+            );
+        }
+        for (resolver, &t) in persistent.iter_mut().zip(THREADS) {
+            let got = resolve(resolver, &net, tx);
+            assert_eq!(
+                got, expected,
+                "round {round}: persistent parallel({t}) diverged from aggregated"
+            );
+        }
+    }
+}
+
+/// The CI gate from the issue: byte-identical receptions at 1, 2 and 8
+/// threads on the same workload — rendered to bytes, not just compared
+/// structurally, so a formatting-visible difference cannot hide.
+#[test]
+fn one_two_eight_threads_are_byte_identical() {
+    let net = random_network(90, 0xAB1E);
+    let tx: Vec<usize> = (0..90).step_by(3).collect();
+    let render = |t: u32| -> Vec<u8> {
+        let recs = resolve(&mut ParallelResolver::with_threads(t), &net, &tx);
+        format!("{recs:?}").into_bytes()
+    };
+    let one = render(1);
+    assert_eq!(one, render(2), "2 threads not byte-identical to 1");
+    assert_eq!(one, render(8), "8 threads not byte-identical to 1");
+}

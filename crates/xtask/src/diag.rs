@@ -1,0 +1,102 @@
+//! Diagnostics: the lint's machine- and human-readable output.
+
+use crate::json;
+use std::fmt::Write as _;
+
+/// One lint finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule code (`D1` … `D5`, `P1`, or the meta rules `A0`/`A1`).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong at the site.
+    pub message: String,
+    /// How to fix it (or how to allowlist it legitimately).
+    pub hint: String,
+}
+
+/// Renders diagnostics for terminals: `RULE file:line: message` plus an
+/// indented fix-it hint, followed by a one-line summary.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{} {}:{}: {}", d.rule, d.file, d.line, d.message);
+        let _ = writeln!(out, "   hint: {}", d.hint);
+    }
+    if diags.is_empty() {
+        out.push_str("lint: clean (0 diagnostics)\n");
+    } else {
+        let _ = writeln!(out, "lint: {} diagnostic(s)", diags.len());
+    }
+    out
+}
+
+/// Renders diagnostics as a single JSON object:
+/// `{"ok": bool, "count": N, "diagnostics": [{...}]}`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"ok\": {}, \"count\": {}, \"diagnostics\": [",
+        diags.is_empty(),
+        diags.len()
+    );
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"hint\": {}}}",
+            json::quote(d.rule),
+            json::quote(&d.file),
+            d.line,
+            json::quote(&d.message),
+            json::quote(&d.hint)
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic {
+            rule: "D1",
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            message: "m \"quoted\"".to_string(),
+            hint: "h".to_string(),
+        }]
+    }
+
+    #[test]
+    fn human_output_has_file_line_and_summary() {
+        let s = render_human(&sample());
+        assert!(s.contains("D1 crates/x/src/lib.rs:7:"));
+        assert!(s.contains("lint: 1 diagnostic(s)"));
+        assert!(render_human(&[]).contains("clean"));
+    }
+
+    #[test]
+    fn json_output_parses_back() {
+        let s = render_json(&sample());
+        let v = json::parse(&s).unwrap();
+        assert_eq!(v.get("count").and_then(json::Value::as_f64), Some(1.0));
+        let ds = v
+            .get("diagnostics")
+            .and_then(json::Value::as_array)
+            .unwrap();
+        assert_eq!(ds[0].get("line").and_then(json::Value::as_f64), Some(7.0));
+        assert_eq!(
+            ds[0].get("message").and_then(json::Value::as_str),
+            Some("m \"quoted\"")
+        );
+    }
+}

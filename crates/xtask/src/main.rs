@@ -1,0 +1,91 @@
+//! `cargo run -p xtask -- lint [--format human|json] [--root DIR]
+//! [--policy FILE]` — see the crate docs and README "Static analysis".
+//!
+//! Exit status: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: cargo run -p xtask -- lint [--format human|json] [--root DIR] [--policy FILE]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("xtask: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the workspace root (the first
+/// ancestor whose `Cargo.toml` declares `[workspace]`).
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("lint") => {}
+        Some(other) => return fail(&format!("unknown task `{other}`")),
+        None => return fail("missing task"),
+    }
+    let mut format = "human".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut policy: Option<PathBuf> = None;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().cloned().ok_or(format!("{name} requires a value"));
+        match flag.as_str() {
+            "--format" => match value("--format") {
+                Ok(v) if v == "human" || v == "json" => format = v,
+                Ok(v) => return fail(&format!("--format must be human or json, got `{v}`")),
+                Err(e) => return fail(&e),
+            },
+            "--root" => match value("--root") {
+                Ok(v) => root = Some(PathBuf::from(v)),
+                Err(e) => return fail(&e),
+            },
+            "--policy" => match value("--policy") {
+                Ok(v) => policy = Some(PathBuf::from(v)),
+                Err(e) => return fail(&e),
+            },
+            other => return fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        return fail(
+            "cannot locate the workspace root (run from inside the workspace or pass --root)",
+        );
+    };
+    let policy = policy.unwrap_or_else(|| root.join("lint.toml"));
+    match xtask::run_lint(&root, &policy) {
+        Ok(diags) => {
+            let rendered = match format.as_str() {
+                "json" => xtask::diag::render_json(&diags),
+                _ => xtask::diag::render_human(&diags),
+            };
+            print!("{rendered}");
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic workspace traversal: every `.rs` file and every crate
+//! root, in sorted path order, honoring the policy's `exclude` prefixes.
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into, regardless of policy.
+const ALWAYS_SKIPPED: &[&str] = &["target", ".git"];
+
+/// Workspace-relative path with forward slashes (stable across hosts —
+/// diagnostics and policy prefixes are compared in this form).
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+fn excluded(rel: &str, exclude: &[String]) -> bool {
+    exclude
+        .iter()
+        .any(|p| rel == p || rel.starts_with(&format!("{p}/")))
+}
+
+fn walk_dirs(root: &Path, dir: &Path, exclude: &[String], out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+        let hidden_or_skipped = name
+            .as_deref()
+            .is_none_or(|n| n.starts_with('.') || ALWAYS_SKIPPED.contains(&n));
+        if hidden_or_skipped || excluded(&rel_path(root, &path), exclude) {
+            continue;
+        }
+        if path.is_dir() {
+            walk_dirs(root, &path, exclude, out);
+        } else {
+            out.push(path);
+        }
+    }
+}
+
+/// Every non-excluded `.rs` file under `root`, sorted.
+pub fn rust_files(root: &Path, exclude: &[String]) -> Vec<PathBuf> {
+    let mut all = Vec::new();
+    walk_dirs(root, root, exclude, &mut all);
+    all.retain(|p| p.extension().is_some_and(|e| e == "rs"));
+    all
+}
+
+/// Every crate root (`src/lib.rs` / `src/main.rs` next to a `Cargo.toml`)
+/// under `root`, sorted — the files rule D5 inspects.
+pub fn crate_roots(root: &Path, exclude: &[String]) -> Vec<PathBuf> {
+    let mut all = Vec::new();
+    walk_dirs(root, root, exclude, &mut all);
+    let mut roots = Vec::new();
+    for manifest in all.iter().filter(|p| {
+        p.file_name().is_some_and(|n| n == "Cargo.toml") && !excluded(&rel_path(root, p), exclude)
+    }) {
+        let dir = manifest.parent().unwrap_or(Path::new(""));
+        for entry in ["src/lib.rs", "src/main.rs"] {
+            let candidate = dir.join(entry);
+            if candidate.is_file() {
+                roots.push(candidate);
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_paths_use_forward_slashes() {
+        let root = Path::new("/a/b");
+        assert_eq!(
+            rel_path(root, &root.join("c").join("d.rs")),
+            "c/d.rs".to_string()
+        );
+    }
+
+    #[test]
+    fn exclusion_matches_whole_components() {
+        let ex = vec!["crates/xtask/tests/fixtures".to_string()];
+        assert!(excluded("crates/xtask/tests/fixtures/x.rs", &ex));
+        assert!(excluded("crates/xtask/tests/fixtures", &ex));
+        assert!(!excluded("crates/xtask/tests/fixtures_other/x.rs", &ex));
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: allow-annotation behaviors — a used trailing allow, a used
+//! preceding-line allow, a stale allow (A1) and a reasonless allow (A0).
+
+use std::collections::HashMap;
+
+pub fn suppressed() -> usize {
+    let m: HashMap<u8, u8> = HashMap::new(); // lint:allow(D1, reason = "membership only; never iterated (fixture)")
+    m.len()
+}
+
+pub fn suppressed_by_preceding_comment(v: Option<u8>) -> u8 {
+    // lint:allow(P1, reason = "guarded by the caller (fixture)")
+    v.unwrap()
+}
+
+pub fn stale() -> u8 {
+    7 // lint:allow(D1, reason = "nothing to suppress here") — expect A1
+}
+
+pub fn no_reason(v: Option<u8>) -> u8 {
+    v.unwrap() // lint:allow(P1) — expect A0, and P1 still fires
+}

@@ -1,0 +1,6 @@
+//! Fixture: the sanctioned configuration seam, exempted from D4 in the
+//! fixture `lint.toml`.
+
+pub fn override_from_env() -> Option<String> {
+    std::env::var("FIXTURE_OVERRIDE").ok() // no D4: module is exempt
+}

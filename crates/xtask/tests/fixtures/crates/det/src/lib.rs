@@ -1,0 +1,35 @@
+//! Fixture: deterministic crate with one violation per library rule,
+//! plus the negatives (use-line, cfg(test) body) that must stay silent.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap; // use-lines are never flagged
+
+mod allows;
+mod config;
+
+pub fn d1_hit() -> usize {
+    let m: HashMap<u8, u8> = HashMap::new(); // expect D1
+    m.len()
+}
+
+pub fn d2_hit() -> u64 {
+    let t = std::time::Instant::now(); // expect D2
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn p1_hit(v: Option<u8>) -> u8 {
+    v.unwrap() // expect P1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_bodies_are_exempt() {
+        let mut m = HashMap::new(); // no D1: inside cfg(test)
+        m.insert(1u8, 2u8);
+        assert_eq!(m.get(&1).copied().unwrap(), 2); // no P1: inside cfg(test)
+        assert_eq!(d1_hit(), 0);
+    }
+}

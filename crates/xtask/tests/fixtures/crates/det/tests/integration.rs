@@ -1,0 +1,11 @@
+//! Fixture: `tests/` trees are exempt from the library-only rules
+//! (D1, P1) by construction — nothing here may be flagged.
+
+use std::collections::HashMap;
+
+#[test]
+fn helper_maps_are_fine_in_tests() {
+    let mut m = HashMap::new();
+    m.insert(1u8, 2u8);
+    assert_eq!(m.get(&1).copied().unwrap(), 2);
+}

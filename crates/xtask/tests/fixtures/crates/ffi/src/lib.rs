@@ -1,0 +1,6 @@
+//! Fixture: crate root without `#![forbid(unsafe_code)]`, carried as a
+//! reasoned exception under [rule.D5] in the fixture `lint.toml` — no D5.
+
+pub fn shim() -> u8 {
+    0
+}

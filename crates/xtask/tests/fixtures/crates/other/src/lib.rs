@@ -1,0 +1,15 @@
+//! Fixture: crate root missing `#![forbid(unsafe_code)]` (D5), raw
+//! threading (D3) and an unsanctioned env read (D4). The wall-clock read
+//! is a D2 *negative*: D2 is scoped to crates/det in the fixture policy.
+
+pub fn d3_hit() {
+    std::thread::spawn(|| {}).join().ok(); // expect D3
+}
+
+pub fn d4_hit() -> Option<String> {
+    std::env::var("NOT_SANCTIONED").ok() // expect D4
+}
+
+pub fn d2_negative() -> std::time::Instant {
+    std::time::Instant::now() // no D2: crate is outside [rule.D2] paths
+}

@@ -1,0 +1,7 @@
+//! Fixture: the sanctioned threading implementation — exempted from D3
+//! in the fixture `lint.toml`, and a D5 negative (carries the forbid).
+#![forbid(unsafe_code)]
+
+pub fn run(f: impl FnOnce() + Send) {
+    std::thread::scope(|_| f()); // no D3: file is exempt
+}

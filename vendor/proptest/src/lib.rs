@@ -59,6 +59,7 @@ impl TestRng {
             seed ^= u64::from(b);
             seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
         }
+        // lint:allow(D4, reason = "mirrors the real crate's PROPTEST_SEED override")
         if let Ok(env) = std::env::var("PROPTEST_SEED") {
             if let Ok(extra) = env.parse::<u64>() {
                 seed ^= extra;
