@@ -8,8 +8,14 @@
 //! Exits non-zero on a parse error, a failed workload, a spec whose
 //! round-trip through the text format is not the identity, or any
 //! determinism violation.
+//!
+//! The gate also runs each spec **with a JSONL tracer attached** and
+//! checks (a) the traced report renders byte-identically to the untraced
+//! one (observability must be inert), and (b) two traced runs produce
+//! byte-identical trace files.
 
 use dcluster_bench::{resolver_override, Runner, ScenarioSpec};
+use std::fs;
 
 fn main() {
     let mut files: Vec<String> = std::env::args()
@@ -66,6 +72,43 @@ fn main() {
             );
             failures += 1;
         }
+
+        // Trace gate: tracing must be observationally inert, and traces
+        // themselves must be deterministic.
+        let trace_a = std::env::temp_dir().join(format!("smoke_{}_a.jsonl", first.scenario));
+        let trace_b = std::env::temp_dir().join(format!("smoke_{}_b.jsonl", first.scenario));
+        let traced = runner
+            .clone()
+            .with_trace(Some(trace_a.clone()))
+            .run_default()
+            .expect("committed spec runs traced");
+        if traced.to_markdown() != first.to_markdown() {
+            eprintln!("FAIL: {file}: attaching a tracer changed the rendered report");
+            failures += 1;
+        }
+        let _ = runner
+            .clone()
+            .with_trace(Some(trace_b.clone()))
+            .run_default()
+            .expect("committed spec runs traced");
+        match (fs::read(&trace_a), fs::read(&trace_b)) {
+            (Ok(a), Ok(b)) if a == b && !a.is_empty() => {}
+            (Ok(a), Ok(b)) => {
+                eprintln!(
+                    "FAIL: {file}: trace reruns differ ({} vs {} bytes)",
+                    a.len(),
+                    b.len()
+                );
+                failures += 1;
+            }
+            (ra, rb) => {
+                eprintln!("FAIL: {file}: trace files unreadable: {ra:?} / {rb:?}");
+                failures += 1;
+            }
+        }
+        let _ = fs::remove_file(&trace_a);
+        let _ = fs::remove_file(&trace_b);
+
         eprintln!(
             "done: {file} ({}, workload {}, {} rounds)",
             first.scenario, first.workload, first.rounds

@@ -84,6 +84,21 @@ pub fn flag_value(flag: &str) -> Option<String> {
     None
 }
 
+/// The JSONL trace destination for workload binaries: the `--trace
+/// <file>` flag, else the `DCLUSTER_TRACE` env var. `None` (the default)
+/// disables the sink; tracing never changes results, only records them.
+/// An unwritable destination exits with an error naming the path — same
+/// policy as `DCLUSTER_RESULTS_DIR`.
+pub fn trace_flag() -> Option<std::path::PathBuf> {
+    flag_value("--trace")
+        .or_else(|| {
+            std::env::var("DCLUSTER_TRACE")
+                .ok()
+                .filter(|v| !v.is_empty())
+        })
+        .map(std::path::PathBuf::from)
+}
+
 /// The spec named by `--scenario <file>.scn`, if given; parse errors
 /// abort naming the file and line.
 pub fn scenario_override() -> Option<ScenarioSpec> {
@@ -106,7 +121,9 @@ pub fn run_scenario_flag(default: Workload) -> bool {
     let workload = spec.workload.clone().unwrap_or(default);
     // Flag-only override: a spec's pinned `resolver` line outranks the
     // ambient DCLUSTER_RESOLVER env, but never an explicit flag.
-    let runner = Runner::new(spec).with_resolver_override(resolver_flag());
+    let runner = Runner::new(spec)
+        .with_resolver_override(resolver_flag())
+        .with_trace(trace_flag());
     let report = or_exit(runner.run(&workload));
     report.print();
     report.write_csv();

@@ -61,6 +61,7 @@ pub fn clustering(
     a: &[usize],
     gamma: usize,
 ) -> Clustering {
+    engine.begin_phase("clustering");
     let start_round = engine.round();
     let net = engine.network();
     let n = net.len();
@@ -173,6 +174,7 @@ pub fn clustering(
         lambda_up = ((lambda_up as f64) * 4.0 / 3.0).ceil() as usize; // line 16
     }
 
+    engine.end_phase();
     Clustering {
         cluster_of,
         centers,

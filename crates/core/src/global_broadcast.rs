@@ -70,6 +70,7 @@ pub fn sms_broadcast(
     delta: usize,
     data: u64,
 ) -> BroadcastOutcome {
+    engine.begin_phase("global_broadcast");
     let start = engine.round();
     let net = engine.network();
     let n = net.len();
@@ -201,6 +202,7 @@ pub fn sms_broadcast(
     let delivered_all = awake.iter().all(|&a| a);
     let local_broadcast_ok =
         delivered_all && missing_deliveries(engine.network(), &heard_by).is_empty();
+    engine.end_phase();
     BroadcastOutcome {
         rounds: engine.round() - start,
         delivered_all,

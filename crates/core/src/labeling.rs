@@ -48,6 +48,7 @@ impl Labeling {
 /// Costs `O(κ · Σ |S_u|) = O(Γ log N)` rounds (one bottom-up pass plus κ
 /// top-down sub-passes per unit).
 pub fn imperfect_labeling(engine: &mut Engine<'_>, out: &LevelsOutcome, kappa: usize) -> Labeling {
+    engine.begin_phase("labeling");
     let net = engine.network();
     let n = net.len();
     let members = &out.levels[0];
@@ -200,6 +201,7 @@ pub fn imperfect_labeling(engine: &mut Engine<'_>, out: &LevelsOutcome, kappa: u
     }
 
     let label: Vec<u32> = range.iter().map(|r| r.map_or(0, |(lo, _)| lo)).collect();
+    engine.end_phase();
     Labeling {
         label,
         subtree_size: size,

@@ -43,6 +43,7 @@ pub fn leader_election(
     seeds: &mut SeedSeq,
     delta: usize,
 ) -> LeaderOutcome {
+    engine.begin_phase("leader");
     let start = engine.round();
     let net = engine.network();
     let n = net.len();
@@ -83,6 +84,7 @@ pub fn leader_election(
         }
     }
 
+    engine.end_phase();
     LeaderOutcome {
         leader_id: lo,
         rounds: engine.round() - start,

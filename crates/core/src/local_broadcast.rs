@@ -48,6 +48,7 @@ pub fn local_broadcast(
     seeds: &mut SeedSeq,
     delta: usize,
 ) -> LocalBroadcastOutcome {
+    engine.begin_phase("local_broadcast");
     let start = engine.round();
     let net = engine.network();
     let n = net.len();
@@ -96,6 +97,7 @@ pub fn local_broadcast(
     }
 
     let complete = missing_deliveries(engine.network(), &heard_by).is_empty();
+    engine.end_phase();
     LocalBroadcastOutcome {
         rounds: engine.round() - start,
         heard_by,

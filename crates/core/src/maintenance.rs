@@ -27,7 +27,8 @@ use crate::check::{check_clustering_on, ClusteringReport};
 use crate::clustering::clustering;
 use crate::params::ProtocolParams;
 use crate::run::SeedSeq;
-use dcluster_sim::{Engine, Network, ResolverKind};
+use dcluster_obs::{Event, PhaseTable, SharedTracer};
+use dcluster_sim::{Engine, EngineStats, Network, ResolverKind, ResolverStats};
 use std::collections::BTreeMap;
 
 /// Bounds that turn clustering-quality measurements into violation counts.
@@ -107,6 +108,10 @@ pub struct MaintenanceDriver {
     total_rounds: u64,
     total_re_elections: u64,
     total_violations: u64,
+    tracer: Option<SharedTracer>,
+    phases: PhaseTable,
+    resolver_stats: ResolverStats,
+    engine_stats: EngineStats,
 }
 
 impl MaintenanceDriver {
@@ -127,12 +132,38 @@ impl MaintenanceDriver {
             total_rounds: 0,
             total_re_elections: 0,
             total_violations: 0,
+            tracer: None,
+            phases: PhaseTable::new(),
+            resolver_stats: ResolverStats::default(),
+            engine_stats: EngineStats::default(),
         }
     }
 
     /// The violation bounds in force.
     pub fn config(&self) -> MaintenanceConfig {
         self.config
+    }
+
+    /// Attaches a tracer: each epoch's engine emits phase spans and round
+    /// events through it, and the driver adds one `epoch` event per epoch.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Phase spans aggregated over every epoch run so far.
+    pub fn phase_table(&self) -> &PhaseTable {
+        &self.phases
+    }
+
+    /// Resolver work counters accumulated over every epoch run so far.
+    pub fn resolver_stats(&self) -> ResolverStats {
+        self.resolver_stats
+    }
+
+    /// Engine counters (rounds/tx/rx) accumulated over every epoch run so
+    /// far — the maintenance analogue of [`Engine::stats`].
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine_stats
     }
 
     /// Runs one maintenance epoch: re-clusters the awake set over the
@@ -151,8 +182,17 @@ impl MaintenanceDriver {
             "maintenance needs at least one awake node"
         );
         let mut engine = Engine::with_resolver_kind(net, resolver);
+        if let Some(tracer) = &self.tracer {
+            engine.set_tracer(tracer.clone());
+        }
         let gamma = net.density().max(1);
         let cl = clustering(&mut engine, &self.params, seeds, awake, gamma);
+        self.phases.merge(engine.phase_table());
+        self.resolver_stats.absorb(&engine.resolver_stats());
+        let es = engine.stats();
+        self.engine_stats.rounds += es.rounds;
+        self.engine_stats.transmissions += es.transmissions;
+        self.engine_stats.receptions += es.receptions;
         let report = check_clustering_on(net, &cl.cluster_of, awake);
 
         // Lifetime / re-election accounting over center-node IDs.
@@ -198,6 +238,14 @@ impl MaintenanceDriver {
         self.total_rounds += cl.rounds;
         self.total_re_elections += re_elections as u64;
         self.total_violations += coverage_violations as u64;
+        if let Some(tracer) = &self.tracer {
+            tracer.borrow_mut().on_event(&Event::Epoch {
+                epoch,
+                rounds: cl.rounds,
+                re_elections: re_elections as u64,
+                violations: coverage_violations as u64,
+            });
+        }
         EpochReport {
             epoch,
             awake: awake.len(),

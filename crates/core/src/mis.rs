@@ -74,10 +74,13 @@ pub fn local_mis(
     max_id: u64,
     strategy: MisStrategy,
 ) -> Vec<bool> {
-    match strategy {
+    engine.begin_phase("mis");
+    let mis = match strategy {
         MisStrategy::GreedyById => greedy_mis(engine, unit, members, adj),
         MisStrategy::LinialSweep => linial_mis(engine, unit, members, adj, degree_bound, max_id),
-    }
+    };
+    engine.end_phase();
+    mis
 }
 
 /// One replay delivering each member's `msg` to (at least) its H-neighbors;

@@ -80,6 +80,7 @@ pub fn build_proximity_graph(
     cluster_of: &[u64],
     clustered: bool,
 ) -> Proximity {
+    engine.begin_phase("proximity");
     let net = engine.network();
     let n = net.len();
     let n_univ = net.max_id();
@@ -204,6 +205,7 @@ pub fn build_proximity_graph(
         }
     }
 
+    engine.end_phase();
     Proximity { unit, adj }
 }
 

@@ -239,6 +239,7 @@ pub fn sparsification_u(
     x: &[usize],
     strategy: MisStrategy,
 ) -> LevelsOutcome {
+    engine.begin_phase("sparsify");
     let eps = engine.network().params().epsilon;
     let l_bound = params.cap(chi_upper(5.0, 1.0 - eps));
     let mut out = LevelsOutcome {
@@ -271,6 +272,7 @@ pub fn sparsification_u(
             }
         }
     }
+    engine.end_phase();
     out
 }
 
@@ -285,6 +287,7 @@ pub fn full_sparsification(
     a: &[usize],
     cluster_of: &[u64],
 ) -> LevelsOutcome {
+    engine.begin_phase("sparsify");
     // k = log_{4/3} Γ  (paper line 2).
     let k = ((gamma.max(2) as f64).ln() / (4.0f64 / 3.0).ln()).ceil() as usize;
     let mut out = LevelsOutcome {
@@ -315,6 +318,7 @@ pub fn full_sparsification(
             break;
         }
     }
+    engine.end_phase();
     out
 }
 

@@ -40,6 +40,7 @@ pub fn wakeup(
         !spontaneous.is_empty(),
         "wake-up needs at least one active node"
     );
+    engine.begin_phase("wakeup");
     let start = engine.round();
     // Step 1: cluster the spontaneously active set; centers form a
     // constant-density set S′ with pairwise separation ≥ 1 − ε.
@@ -51,6 +52,7 @@ pub fn wakeup(
     };
     // Step 2: SMSB from S′ wakes the whole network.
     let out = sms_broadcast(engine, params, seeds, &centers, delta, AWAKE_PAYLOAD);
+    engine.end_phase();
     WakeupOutcome {
         rounds: engine.round() - start,
         all_awake: out.delivered_all,

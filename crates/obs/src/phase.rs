@@ -1,0 +1,118 @@
+//! Per-phase aggregation: the summary table the scenario `Report`
+//! renders (markdown + CSV).
+//!
+//! A [`PhaseTable`] accumulates closed phase spans in **first-seen
+//! order** — deterministic because the span stream is — and merges
+//! across engines (the maintenance driver folds one table per epoch
+//! engine into a run-level table). Nested phases each record their own
+//! totals, so an outer phase's rounds include its inner phases'.
+
+/// Aggregate cost of one named phase across all its spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSummary {
+    /// Stable phase name (`clustering`, `sparsify`, `mis`, …).
+    pub phase: String,
+    /// Closed spans aggregated into this row.
+    pub spans: u64,
+    /// Rounds consumed (incl. nested phases).
+    pub rounds: u64,
+    /// Transmissions during the phase.
+    pub tx: u64,
+    /// Successful receptions during the phase.
+    pub rx: u64,
+}
+
+/// An insertion-ordered table of [`PhaseSummary`] rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseTable {
+    rows: Vec<PhaseSummary>,
+}
+
+impl PhaseTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one closed span into the named phase's row.
+    pub fn record(&mut self, phase: &str, rounds: u64, tx: u64, rx: u64) {
+        match self.rows.iter_mut().find(|r| r.phase == phase) {
+            Some(row) => {
+                row.spans += 1;
+                row.rounds += rounds;
+                row.tx += tx;
+                row.rx += rx;
+            }
+            None => self.rows.push(PhaseSummary {
+                phase: phase.to_string(),
+                spans: 1,
+                rounds,
+                tx,
+                rx,
+            }),
+        }
+    }
+
+    /// Folds another table into this one (phase-by-phase; `other`'s
+    /// first-seen order appends new phases).
+    pub fn merge(&mut self, other: &PhaseTable) {
+        for row in &other.rows {
+            match self.rows.iter_mut().find(|r| r.phase == row.phase) {
+                Some(mine) => {
+                    mine.spans += row.spans;
+                    mine.rounds += row.rounds;
+                    mine.tx += row.tx;
+                    mine.rx += row.rx;
+                }
+                None => self.rows.push(row.clone()),
+            }
+        }
+    }
+
+    /// The rows, in first-seen order.
+    pub fn summaries(&self) -> &[PhaseSummary] {
+        &self.rows
+    }
+
+    /// True iff no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_aggregate_by_phase_in_first_seen_order() {
+        let mut t = PhaseTable::new();
+        t.record("sparsify", 10, 5, 2);
+        t.record("mis", 3, 1, 1);
+        t.record("sparsify", 6, 2, 2);
+        let rows = t.summaries();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].phase, "sparsify");
+        assert_eq!(rows[0].spans, 2);
+        assert_eq!(rows[0].rounds, 16);
+        assert_eq!(rows[0].tx, 7);
+        assert_eq!(rows[0].rx, 4);
+        assert_eq!(rows[1].phase, "mis");
+    }
+
+    #[test]
+    fn merge_folds_matching_phases_and_appends_new_ones() {
+        let mut a = PhaseTable::new();
+        a.record("clustering", 20, 9, 4);
+        let mut b = PhaseTable::new();
+        b.record("clustering", 22, 10, 5);
+        b.record("labeling", 4, 2, 2);
+        a.merge(&b);
+        let rows = a.summaries();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].spans, 2);
+        assert_eq!(rows[0].rounds, 42);
+        assert_eq!(rows[1].phase, "labeling");
+        assert!(!a.is_empty());
+    }
+}

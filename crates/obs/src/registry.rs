@@ -1,0 +1,193 @@
+//! The deterministic counter/histogram registry.
+//!
+//! `BTreeMap`-backed so every rendering is sorted by name, and **counts
+//! only**: there is deliberately no way to put a wall-clock duration in
+//! here (see the crate docs; timing lives behind [`crate::clock::Clock`]).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A power-of-two-bucketed histogram of `u64` observations.
+///
+/// Bucket `i` holds values whose bit length is `i`: bucket 0 is the
+/// value 0, bucket 1 is 1, bucket 2 is 2–3, bucket 3 is 4–7, … — fixed
+/// 65 buckets, no configuration, so two runs bucket identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, value: u64) {
+        let bit_len = (64 - value.leading_zeros()) as usize;
+        self.buckets[bit_len] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Observations in the bucket for the given bit length
+    /// (`0` = value 0, `i` = values in `[2^(i-1), 2^i)`).
+    pub fn bucket(&self, bit_len: usize) -> u64 {
+        self.buckets[bit_len]
+    }
+
+    /// `(lower, upper)` inclusive value range of a bucket.
+    pub fn bucket_range(bit_len: usize) -> (u64, u64) {
+        if bit_len == 0 {
+            (0, 0)
+        } else {
+            (1 << (bit_len - 1), ((1u128 << bit_len) - 1) as u64)
+        }
+    }
+}
+
+/// A named set of counters and histograms, sorted by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the named counter by 1.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments the named counter by `delta`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// The named counter's value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Folds another registry into this one.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histograms.entry(k.clone()).or_default();
+            for i in 0..mine.buckets.len() {
+                mine.buckets[i] += h.buckets[i];
+            }
+            mine.count += h.count;
+            mine.sum = mine.sum.saturating_add(h.sum);
+        }
+    }
+
+    /// A deterministic text rendering: one sorted `name value` line per
+    /// counter, then one `name count=N sum=S` line per histogram.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(out, "{k} count={} sum={}", h.count, h.sum);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render_sorted() {
+        let mut r = Registry::new();
+        r.inc("zeta");
+        r.add("alpha", 3);
+        r.inc("zeta");
+        assert_eq!(r.counter("zeta"), 2);
+        assert_eq!(r.counter("alpha"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        let text = r.render();
+        let alpha = text.find("alpha").unwrap();
+        let zeta = text.find("zeta").unwrap();
+        assert!(alpha < zeta, "render must be name-sorted:\n{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut r = Registry::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000] {
+            r.observe("h", v);
+        }
+        let h = r.histogram("h").unwrap();
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.bucket(0), 1); // 0
+        assert_eq!(h.bucket(1), 1); // 1
+        assert_eq!(h.bucket(2), 2); // 2, 3
+        assert_eq!(h.bucket(3), 2); // 4, 7
+        assert_eq!(h.bucket(4), 1); // 8
+        assert_eq!(h.bucket(10), 1); // 1000
+        assert_eq!(Histogram::bucket_range(0), (0, 0));
+        assert_eq!(Histogram::bucket_range(3), (4, 7));
+    }
+
+    #[test]
+    fn merge_is_pointwise() {
+        let mut a = Registry::new();
+        a.inc("c");
+        a.observe("h", 5);
+        let mut b = Registry::new();
+        b.add("c", 4);
+        b.inc("d");
+        b.observe("h", 6);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.counter("d"), 1);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h").unwrap().sum(), 11);
+    }
+}

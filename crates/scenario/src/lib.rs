@@ -41,8 +41,9 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
+pub use dcluster_obs::{PhaseSummary, SharedTracer, TraceMeta, Tracer, TRACE_SCHEMA};
 pub use emit::{format_table, print_table, results_dir, write_csv};
-pub use report::{epoch_row, Report, WorkloadOutcome, EPOCH_HEADERS};
+pub use report::{epoch_row, phase_row, Report, WorkloadOutcome, EPOCH_HEADERS, PHASE_HEADERS};
 pub use runner::{bounding_box, connected_deployment, Runner};
 pub use spec::{DeployLayer, DeploySpec, DynamicsSpec, ScenarioSpec, SpecError, Workload};
 

@@ -11,6 +11,7 @@ use crate::emit::{format_table, write_csv};
 use dcluster_core::check::ClusteringReport;
 use dcluster_core::global_broadcast::PhaseRecord;
 use dcluster_core::maintenance::{EpochReport, MaintenanceSummary};
+use dcluster_obs::PhaseSummary;
 use dcluster_sim::{Engine, ResolverKind, ResolverStats};
 
 /// Workload-specific results (the variant matches the executed
@@ -101,8 +102,12 @@ pub struct Report {
     pub transmissions: u64,
     /// Total successful receptions (0 for maintenance).
     pub receptions: u64,
-    /// Resolver work counters (zeroed for maintenance).
+    /// Resolver work counters (maintenance: accumulated over epochs).
     pub resolver_stats: ResolverStats,
+    /// Per-phase cost summary (always populated — the engine aggregates
+    /// phase spans whether or not a tracer is attached, so traced and
+    /// untraced runs render byte-identical reports).
+    pub phases: Vec<PhaseSummary>,
     /// Workload-specific results.
     pub outcome: WorkloadOutcome,
 }
@@ -116,6 +121,7 @@ impl Report {
         self.transmissions = s.transmissions;
         self.receptions = s.receptions;
         self.resolver_stats = engine.resolver_stats();
+        self.phases = engine.phase_table().summaries().to_vec();
     }
 
     /// True iff the workload's own success criterion held (complete
@@ -259,6 +265,30 @@ impl Report {
                 ));
             }
         }
+        if !self.phases.is_empty() {
+            let rows: Vec<Vec<String>> = self.phases.iter().map(phase_row).collect();
+            out.push_str(&format_table("phase summary", &PHASE_HEADERS, &rows));
+        }
+        let rs = &self.resolver_stats;
+        out.push_str(&format_table(
+            "resolver work",
+            &[
+                "rounds",
+                "candidates",
+                "short-circuited",
+                "exact sums",
+                "residual",
+                "fallbacks",
+            ],
+            &[vec![
+                rs.rounds.to_string(),
+                rs.candidates.to_string(),
+                rs.short_circuited.to_string(),
+                rs.exact_sums.to_string(),
+                rs.residual_decided.to_string(),
+                rs.exact_fallbacks.to_string(),
+            ]],
+        ));
         out
     }
 
@@ -281,7 +311,14 @@ impl Report {
             "tx",
             "rx",
             "ok",
+            "rs_rounds",
+            "rs_candidates",
+            "rs_short_circuited",
+            "rs_exact_sums",
+            "rs_residual_decided",
+            "rs_exact_fallbacks",
         ];
+        let rs = &self.resolver_stats;
         let rows = vec![vec![
             self.scenario.clone(),
             self.workload.to_string(),
@@ -293,8 +330,22 @@ impl Report {
             self.transmissions.to_string(),
             self.receptions.to_string(),
             self.ok().to_string(),
+            rs.rounds.to_string(),
+            rs.candidates.to_string(),
+            rs.short_circuited.to_string(),
+            rs.exact_sums.to_string(),
+            rs.residual_decided.to_string(),
+            rs.exact_fallbacks.to_string(),
         ]];
         write_csv(&format!("scenario_{}", self.scenario), &headers, &rows);
+        if !self.phases.is_empty() {
+            let rows: Vec<Vec<String>> = self.phases.iter().map(phase_row).collect();
+            write_csv(
+                &format!("scenario_{}_phases", self.scenario),
+                &PHASE_HEADERS,
+                &rows,
+            );
+        }
         if let WorkloadOutcome::Maintenance { epochs, .. } = &self.outcome {
             let rows: Vec<Vec<String>> = epochs.iter().map(epoch_row).collect();
             write_csv(
@@ -304,6 +355,20 @@ impl Report {
             );
         }
     }
+}
+
+/// Column set of the per-phase summary table (reports + CSV artifacts).
+pub const PHASE_HEADERS: [&str; 5] = ["phase", "spans", "rounds", "tx", "rx"];
+
+/// Renders one phase summary as a row under [`PHASE_HEADERS`].
+pub fn phase_row(p: &PhaseSummary) -> Vec<String> {
+    vec![
+        p.phase.clone(),
+        p.spans.to_string(),
+        p.rounds.to_string(),
+        p.tx.to_string(),
+        p.rx.to_string(),
+    ]
 }
 
 /// Column set shared by every maintenance-epoch table this workspace
@@ -351,6 +416,7 @@ mod tests {
             transmissions: 4,
             receptions: 3,
             resolver_stats: Default::default(),
+            phases: Vec::new(),
             outcome: WorkloadOutcome::Empty,
         }
     }
@@ -360,6 +426,26 @@ mod tests {
         let md = blank().to_markdown();
         assert!(md.contains("scenario 't'"));
         assert!(md.contains("| 10 | 3 | 2 | grid | 5 | 4 | 3 | false |"));
+        assert!(md.contains("resolver work"));
+    }
+
+    #[test]
+    fn markdown_renders_phase_rows_when_present() {
+        let mut r = blank();
+        r.phases.push(PhaseSummary {
+            phase: "clustering".into(),
+            spans: 1,
+            rounds: 5,
+            tx: 4,
+            rx: 3,
+        });
+        let md = r.to_markdown();
+        assert!(md.contains("phase summary"));
+        assert!(md.contains("| clustering | 1 | 5 | 4 | 3 |"));
+        assert!(
+            !blank().to_markdown().contains("phase summary"),
+            "no phases, no table"
+        );
     }
 
     #[test]

@@ -30,8 +30,10 @@ use dcluster_core::maintenance::MaintenanceDriver;
 use dcluster_core::wakeup::wakeup;
 use dcluster_core::SeedSeq;
 use dcluster_dynamics::{Churn, DynamicsModel, GroupDrift, RandomWalk, RandomWaypoint, World};
+use dcluster_obs::{shared, JsonlSink, SharedTracer, TraceMeta};
 use dcluster_sim::rng::Rng64;
 use dcluster_sim::{deploy, Engine, Network, NetworkError, Point, ResolverKind, SinrParams};
+use std::path::PathBuf;
 
 /// Builds a connected uniform deployment targeting max degree ≈ `delta`
 /// with `n` nodes, retrying seeds until the communication graph is
@@ -107,6 +109,7 @@ pub fn bounding_box(net: &Network) -> (f64, f64) {
 pub struct Runner {
     spec: ScenarioSpec,
     override_resolver: Option<ResolverKind>,
+    trace: Option<PathBuf>,
 }
 
 impl Runner {
@@ -115,6 +118,7 @@ impl Runner {
         Self {
             spec,
             override_resolver: None,
+            trace: None,
         }
     }
 
@@ -127,6 +131,16 @@ impl Runner {
     /// `--resolver` flag of the bench binaries); `None` is a no-op.
     pub fn with_resolver_override(mut self, kind: Option<ResolverKind>) -> Self {
         self.override_resolver = kind.or(self.override_resolver);
+        self
+    }
+
+    /// Streams a versioned JSONL trace of the run to `path` (the bench
+    /// binaries' `--trace` flag / `DCLUSTER_TRACE`); `None` is a no-op.
+    /// An unwritable path fails the run with a [`SpecError`] naming it —
+    /// same policy as `DCLUSTER_RESULTS_DIR`, never a panic. Tracing does
+    /// not change the report: the per-phase aggregation is always on.
+    pub fn with_trace(mut self, path: Option<PathBuf>) -> Self {
+        self.trace = path.or(self.trace);
         self
     }
 
@@ -346,6 +360,34 @@ impl Runner {
         let kind = self.resolver_for(&net)?;
         let params = self.spec.params;
         let mut seeds = SeedSeq::new(params.seed);
+        // The trace sink fails eagerly (header write at create) so a bad
+        // path surfaces here, naming it, before any work is done.
+        let sink = match &self.trace {
+            Some(path) => {
+                let meta = TraceMeta {
+                    scenario: self.spec.name.clone(),
+                    workload: workload.name().to_string(),
+                    n: net.len(),
+                    resolver: kind.to_string(),
+                    seed: self.spec.seed,
+                };
+                Some(shared(JsonlSink::create(path, &meta).map_err(|e| {
+                    SpecError {
+                        line: 0,
+                        msg: format!("cannot write trace {}: {e}", path.display()),
+                    }
+                })?))
+            }
+            None => None,
+        };
+        let tracer: Option<SharedTracer> = sink.as_ref().map(|s| s.clone() as SharedTracer);
+        let make_engine = || {
+            let mut engine = Engine::with_resolver_kind(&net, kind);
+            if let Some(t) = &tracer {
+                engine.set_tracer(t.clone());
+            }
+            engine
+        };
         let mut header = Report {
             scenario: self.spec.name.clone(),
             workload: workload.name(),
@@ -357,11 +399,12 @@ impl Runner {
             transmissions: 0,
             receptions: 0,
             resolver_stats: Default::default(),
+            phases: Vec::new(),
             outcome: WorkloadOutcome::Empty,
         };
         match workload {
             Workload::Clustering => {
-                let mut engine = Engine::with_resolver_kind(&net, kind);
+                let mut engine = make_engine();
                 let all: Vec<usize> = (0..net.len()).collect();
                 let cl = clustering(&mut engine, &params, &mut seeds, &all, net.density());
                 let report = check_clustering(&net, &cl.cluster_of);
@@ -374,7 +417,7 @@ impl Runner {
                 };
             }
             Workload::LocalBroadcast => {
-                let mut engine = Engine::with_resolver_kind(&net, kind);
+                let mut engine = make_engine();
                 let out = local_broadcast(&mut engine, &params, &mut seeds, net.density());
                 header.fill_engine(&engine);
                 header.outcome = WorkloadOutcome::LocalBroadcast {
@@ -396,7 +439,7 @@ impl Runner {
                         ),
                     });
                 }
-                let mut engine = Engine::with_resolver_kind(&net, kind);
+                let mut engine = make_engine();
                 let out = global_broadcast(
                     &mut engine,
                     &params,
@@ -419,6 +462,9 @@ impl Runner {
                 let mut world = World::new(net);
                 let mut models = self.models(world.network());
                 let mut driver = MaintenanceDriver::new(params);
+                if let Some(t) = &tracer {
+                    driver.set_tracer(t.clone());
+                }
                 let mut reports = Vec::new();
                 for _ in 0..self.epochs() {
                     world.step(&mut models);
@@ -428,7 +474,12 @@ impl Runner {
                     let awake = world.awake_nodes();
                     reports.push(driver.epoch(world.network(), kind, &mut seeds, &awake));
                 }
+                let es = driver.engine_stats();
                 header.rounds = reports.iter().map(|r| r.rounds).sum();
+                header.transmissions = es.transmissions;
+                header.receptions = es.receptions;
+                header.resolver_stats = driver.resolver_stats();
+                header.phases = driver.phase_table().summaries().to_vec();
                 header.outcome = WorkloadOutcome::Maintenance {
                     epochs: reports,
                     summary: driver.summary(),
@@ -447,7 +498,7 @@ impl Runner {
                         });
                     }
                 }
-                let mut engine = Engine::with_resolver_kind(&net, kind);
+                let mut engine = make_engine();
                 let out = wakeup(&mut engine, &params, &mut seeds, sources, net.density());
                 header.fill_engine(&engine);
                 header.outcome = WorkloadOutcome::Wakeup {
@@ -456,7 +507,7 @@ impl Runner {
                 };
             }
             Workload::LeaderElection => {
-                let mut engine = Engine::with_resolver_kind(&net, kind);
+                let mut engine = make_engine();
                 let out = leader_election(&mut engine, &params, &mut seeds, net.density());
                 header.fill_engine(&engine);
                 header.outcome = WorkloadOutcome::Leader {
@@ -464,6 +515,12 @@ impl Runner {
                     probes: out.probes,
                 };
             }
+        }
+        if let (Some(sink), Some(path)) = (&sink, &self.trace) {
+            sink.borrow_mut().finish().map_err(|e| SpecError {
+                line: 0,
+                msg: format!("cannot write trace {}: {e}", path.display()),
+            })?;
         }
         Ok(header)
     }
@@ -655,6 +712,47 @@ mod tests {
         assert_eq!(epochs.len(), 2);
         assert_eq!(summary.epochs, 2);
         assert_eq!(report.rounds, epochs.iter().map(|e| e.rounds).sum::<u64>());
+    }
+
+    #[test]
+    fn tracing_changes_nothing_and_reruns_are_byte_identical() {
+        let spec = ScenarioSpec::uniform("traced", 7, 30, 2.5);
+        let untraced = Runner::new(spec.clone())
+            .run(&Workload::Clustering)
+            .unwrap();
+        let path = std::env::temp_dir().join("dcluster_runner_trace_test.jsonl");
+        let traced = Runner::new(spec.clone())
+            .with_trace(Some(path.clone()))
+            .run(&Workload::Clustering)
+            .unwrap();
+        assert_eq!(untraced, traced, "a tracer must be observationally inert");
+        assert_eq!(untraced.to_markdown(), traced.to_markdown());
+        assert!(
+            !untraced.phases.is_empty(),
+            "phase aggregation is always on"
+        );
+        let first = std::fs::read(&path).unwrap();
+        assert!(!first.is_empty());
+        let _ = Runner::new(spec)
+            .with_trace(Some(path.clone()))
+            .run(&Workload::Clustering)
+            .unwrap();
+        let second = std::fs::read(&path).unwrap();
+        assert_eq!(first, second, "trace reruns must be byte-identical");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unwritable_trace_path_errors_naming_it() {
+        let err = Runner::new(ScenarioSpec::uniform("badtrace", 7, 20, 2.0))
+            .with_trace(Some("/definitely/not/writable/t.jsonl".into()))
+            .run(&Workload::Clustering)
+            .unwrap_err();
+        assert!(err.msg.contains("cannot write trace"), "got: {err}");
+        assert!(
+            err.msg.contains("/definitely/not/writable/t.jsonl"),
+            "error must name the path, got: {err}"
+        );
     }
 
     #[test]

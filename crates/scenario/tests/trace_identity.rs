@@ -1,0 +1,92 @@
+//! Trace-identity gates over the committed `scenarios/*.scn` specs:
+//! attaching a `--trace` sink must not change the rendered `Report` by a
+//! single byte (tracing is observation, never participation), and
+//! rerunning the same traced spec must reproduce the JSONL trace
+//! byte-for-byte — the same two contracts the `scenario_smoke` CI gate
+//! enforces.
+//!
+//! Debug builds sweep the CI-sized specs (the million-round broadcast
+//! scenarios take minutes each unoptimized — same scoping as
+//! `runner_determinism`); release builds sweep the whole committed
+//! library, and the CI workflow runs this test under `--release` so
+//! every committed spec is gated.
+
+use dcluster_scenario::Runner;
+use std::fs;
+use std::path::PathBuf;
+
+fn committed_scenarios() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("scenarios/ directory exists")
+        .filter_map(|e| {
+            let path = e.expect("readable dir entry").path();
+            path.extension().is_some_and(|x| x == "scn").then_some(path)
+        })
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 10,
+        "the starter scenario library is committed"
+    );
+    if cfg!(debug_assertions) {
+        paths.retain(|p| {
+            p.file_stem()
+                .and_then(|s| s.to_str())
+                .is_some_and(|s| s.starts_with("ci_"))
+        });
+        assert!(!paths.is_empty(), "the ci_*.scn smoke specs are committed");
+    }
+    paths
+}
+
+#[test]
+fn tracing_is_invisible_and_traces_rerun_byte_identical() {
+    let pid = std::process::id();
+    for path in committed_scenarios() {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("utf-8 spec name")
+            .to_string();
+        let runner = Runner::from_file(&path).expect("committed spec parses");
+
+        let plain = runner.run_default().expect("committed spec runs");
+
+        let trace_a = std::env::temp_dir().join(format!("trace_identity_{pid}_{name}_a.jsonl"));
+        let trace_b = std::env::temp_dir().join(format!("trace_identity_{pid}_{name}_b.jsonl"));
+        let traced = runner
+            .clone()
+            .with_trace(Some(trace_a.clone()))
+            .run_default()
+            .expect("traced run succeeds");
+        assert_eq!(plain, traced, "{name}: tracing changed the report");
+        assert_eq!(
+            plain.to_markdown(),
+            traced.to_markdown(),
+            "{name}: tracing changed the rendering"
+        );
+        assert!(
+            !traced.phases.is_empty(),
+            "{name}: every scenario run records phase spans"
+        );
+
+        let traced_again = runner
+            .clone()
+            .with_trace(Some(trace_b.clone()))
+            .run_default()
+            .expect("traced rerun succeeds");
+        assert_eq!(traced, traced_again, "{name}: traced reruns differ");
+
+        let bytes_a = fs::read(&trace_a).expect("first trace written");
+        let bytes_b = fs::read(&trace_b).expect("second trace written");
+        assert!(!bytes_a.is_empty(), "{name}: trace must not be empty");
+        assert_eq!(
+            bytes_a, bytes_b,
+            "{name}: trace reruns are not byte-identical"
+        );
+
+        let _ = fs::remove_file(&trace_a);
+        let _ = fs::remove_file(&trace_b);
+    }
+}

@@ -14,6 +14,7 @@
 
 use crate::network::Network;
 use crate::radio::{Reception, ResolverKind, ResolverStats, SinrResolver};
+use dcluster_obs::{Event, PhaseTable, SharedTracer};
 
 /// A synchronous per-node protocol executed by the [`Engine`].
 ///
@@ -71,6 +72,15 @@ pub struct Engine<'n> {
     last_round: RoundStats,
     tx_nodes: Vec<usize>,
     tx_msgs_scratch: usize,
+    /// Optional event sink (`None` = tracing disabled; the per-round cost
+    /// is then a single `Option` check).
+    tracer: Option<SharedTracer>,
+    /// Always-on per-phase aggregation (pays only at phase boundaries),
+    /// so traced and untraced runs render byte-identical reports.
+    phases: PhaseTable,
+    /// Open [`Engine::begin_phase`] frames:
+    /// `(phase, start_round, start_tx, start_rx)`.
+    phase_stack: Vec<(&'static str, u64, u64, u64)>,
 }
 
 impl<'n> Engine<'n> {
@@ -111,7 +121,69 @@ impl<'n> Engine<'n> {
             last_round: RoundStats::default(),
             tx_nodes: Vec::new(),
             tx_msgs_scratch: 0,
+            tracer: None,
+            phases: PhaseTable::new(),
+            phase_stack: Vec::new(),
         }
+    }
+
+    /// Attaches an event tracer; every subsequent round and phase span is
+    /// emitted into it. Tracing never changes protocol outcomes — the
+    /// tracer observes the event stream and nothing flows back.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches the tracer (phase aggregation stays on).
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// Opens a named phase span. Spans nest; an inner phase's rounds also
+    /// count toward its enclosing phases. Protocol code brackets its
+    /// stages with this and [`Engine::end_phase`].
+    pub fn begin_phase(&mut self, phase: &'static str) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().on_event(&Event::PhaseStart {
+                phase,
+                round: self.round,
+            });
+        }
+        self.phase_stack.push((
+            phase,
+            self.round,
+            self.stats.transmissions,
+            self.stats.receptions,
+        ));
+    }
+
+    /// Closes the innermost open phase span, folding its costs into the
+    /// per-phase table ([`Engine::phase_table`]). A stray call with no
+    /// open span is ignored (debug builds assert).
+    pub fn end_phase(&mut self) {
+        let Some((phase, round0, tx0, rx0)) = self.phase_stack.pop() else {
+            debug_assert!(false, "end_phase with no open phase span");
+            return;
+        };
+        let rounds = self.round - round0;
+        let tx = self.stats.transmissions - tx0;
+        let rx = self.stats.receptions - rx0;
+        self.phases.record(phase, rounds, tx, rx);
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().on_event(&Event::PhaseEnd {
+                phase,
+                round: self.round,
+                rounds,
+                tx,
+                rx,
+            });
+        }
+    }
+
+    /// The per-phase cost table accumulated so far (always on, tracer or
+    /// not). Rendered by the scenario `Report`.
+    pub fn phase_table(&self) -> &PhaseTable {
+        &self.phases
     }
 
     /// The network being simulated.
@@ -193,6 +265,14 @@ impl<'n> Engine<'n> {
             transmissions: self.tx_nodes.len() as u64,
             receptions: receptions.len() as u64,
         };
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().on_event(&Event::Round {
+                round,
+                tx: self.tx_nodes.len() as u64,
+                rx: receptions.len() as u64,
+                cache: self.resolver.last_cache_op(),
+            });
+        }
         self.round += 1;
         receptions
     }
@@ -312,6 +392,62 @@ mod tests {
             assert_eq!(lr.transmissions, 1);
             assert_eq!(lr.receptions, 1, "node 1 hears node 0 ({kind})");
         }
+    }
+
+    #[test]
+    fn stats_accumulate_across_sequential_behaviors() {
+        // The engine outlives individual behaviors: a protocol stack runs
+        // stage after stage on one engine, and EngineStats / RoundStats /
+        // the phase table must all account across that whole sequence.
+        let net = line(2, 0.5);
+        let mut engine = Engine::new(&net);
+        let recorder = dcluster_obs::shared(dcluster_obs::Recorder::new());
+        engine.set_tracer(recorder.clone());
+
+        engine.begin_phase("chatter");
+        let mut chatter = FnBehavior {
+            tx: |_: &Network, v: usize, _: u64| (v == 0).then_some(7u8),
+            rx: |_: &Network, _: usize, _: u64, _: usize, m: &u8| assert_eq!(*m, 7),
+        };
+        engine.run(&mut chatter, 3);
+        engine.end_phase();
+
+        engine.begin_phase("silence");
+        let mut silence = FnBehavior {
+            tx: |_: &Network, _: usize, _: u64| None::<u8>,
+            rx: |_: &Network, _: usize, _: u64, _: usize, _: &u8| {},
+        };
+        engine.run(&mut silence, 2);
+        engine.end_phase();
+
+        // Cumulative stats span both behaviors.
+        let s = engine.stats();
+        assert_eq!(s.rounds, 5);
+        assert_eq!(s.transmissions, 3);
+        assert_eq!(s.receptions, 3);
+        assert_eq!(engine.round(), 5);
+        // Last-round stats describe the final (silent) round only.
+        let lr = engine.last_round_stats();
+        assert_eq!(lr.round, 4);
+        assert_eq!(lr.transmissions, 0);
+        assert_eq!(lr.receptions, 0);
+        // The phase table kept the two stages apart, in first-seen order.
+        let phases = engine.phase_table().summaries();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(
+            (phases[0].phase.as_str(), phases[0].rounds, phases[0].tx),
+            ("chatter", 3, 3)
+        );
+        assert_eq!(
+            (phases[1].phase.as_str(), phases[1].rounds, phases[1].tx),
+            ("silence", 2, 0)
+        );
+        // The tracer saw every round plus both span brackets.
+        let rec = recorder.borrow();
+        let kinds: Vec<&str> = rec.events().iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "round").count(), 5);
+        assert_eq!(kinds.iter().filter(|k| **k == "phase_start").count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == "phase_end").count(), 2);
     }
 
     #[test]

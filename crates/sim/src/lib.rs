@@ -62,6 +62,9 @@ pub mod point;
 pub mod radio;
 pub mod rng;
 
+pub use dcluster_obs::{
+    CacheOp, Event as ObsEvent, PhaseSummary, PhaseTable, SharedTracer, Tracer,
+};
 pub use engine::{Engine, EngineStats, RoundBehavior, RoundStats};
 pub use field::{FieldStats, InterferenceField};
 pub use graph::Graph;

@@ -68,6 +68,7 @@
 use crate::field::{FieldStats, InterferenceField};
 use crate::grid::Grid;
 use crate::network::Network;
+use dcluster_obs::CacheOp;
 use std::fmt;
 use std::str::FromStr;
 
@@ -186,6 +187,19 @@ pub struct ResolverStats {
     pub exact_fallbacks: u64,
 }
 
+impl ResolverStats {
+    /// Folds another backend's counters into this one (the maintenance
+    /// driver sums per-epoch engines into run totals for the report).
+    pub fn absorb(&mut self, other: &ResolverStats) {
+        self.rounds += other.rounds;
+        self.candidates += other.candidates;
+        self.short_circuited += other.short_circuited;
+        self.exact_sums += other.exact_sums;
+        self.residual_decided += other.residual_decided;
+        self.exact_fallbacks += other.exact_fallbacks;
+    }
+}
+
 /// A reception-resolution backend: given a round's transmitter set,
 /// produce the exact reception set of Eq. (1).
 ///
@@ -221,6 +235,14 @@ pub trait SinrResolver: fmt::Debug {
         let _ = net;
         Ok(())
     }
+
+    /// What the persistent field cache did in the most recent
+    /// [`SinrResolver::resolve_into`] call: `None` for backends without a
+    /// cache (or when the round had no transmitters, so the cache was
+    /// never consulted). Feeds the engine's per-round trace events.
+    fn last_cache_op(&self) -> Option<CacheOp> {
+        None
+    }
 }
 
 /// A cross-round cache of one [`InterferenceField`], keyed on the owning
@@ -242,6 +264,10 @@ pub struct FieldCache {
     /// Scratch for the diff walk (kept to avoid per-round allocation).
     removals: Vec<usize>,
     inserts: Vec<usize>,
+    /// What the latest [`FieldCache::obtain`] did (cleared by
+    /// [`FieldCache::reset_last_op`] at the top of each resolve, so
+    /// transmitter-less rounds read as "cache not consulted").
+    last_op: Option<CacheOp>,
 }
 
 impl FieldCache {
@@ -256,11 +282,16 @@ impl FieldCache {
     pub fn obtain(&mut self, net: &Network, transmitters: &[usize]) -> &InterferenceField {
         let sorted = transmitters.windows(2).all(|w| w[0] < w[1]);
         if sorted && self.stamp == net.stamp() && self.try_patch(net, transmitters) {
+            self.last_op = Some(CacheOp::Patched {
+                inserts: self.inserts.len(),
+                removals: self.removals.len(),
+            });
             return self.field.as_ref().expect("patched field is cached"); // lint:allow(P1, reason = "cache hit just verified by try_patch")
         }
         // Rebuild. An unsorted transmitter slice must not seed later
         // patches (patching keeps the list sorted, which would silently
         // reorder the fallback summation), so it leaves the cache unkeyed.
+        self.last_op = Some(CacheOp::Rebuilt);
         self.stamp = if sorted { net.stamp() } else { 0 };
         self.field.insert(InterferenceField::build(
             net.points(),
@@ -311,6 +342,17 @@ impl FieldCache {
             field.insert_transmitter(net.points(), net.powers(), t);
         }
         true
+    }
+
+    /// What the latest [`FieldCache::obtain`] since the last reset did.
+    pub fn last_op(&self) -> Option<CacheOp> {
+        self.last_op
+    }
+
+    /// Clears the patch/rebuild record; called at the top of each resolve
+    /// so rounds that never consult the cache report `None`.
+    pub fn reset_last_op(&mut self) {
+        self.last_op = None;
     }
 
     /// Audits the cached field (if it is still keyed to `net`) against a
@@ -557,6 +599,9 @@ impl SinrResolver for AggregatedResolver {
     fn resolve_into(&mut self, net: &Network, transmitters: &[usize], out: &mut Vec<Reception>) {
         out.clear();
         self.stats.rounds += 1;
+        if let Some(cache) = self.cache.as_mut() {
+            cache.reset_last_op();
+        }
         if transmitters.is_empty() {
             return;
         }
@@ -606,6 +651,10 @@ impl SinrResolver for AggregatedResolver {
             Some(cache) => cache.audit(net),
             None => Ok(()),
         }
+    }
+
+    fn last_cache_op(&self) -> Option<CacheOp> {
+        self.cache.as_ref().and_then(|c| c.last_op())
     }
 }
 
@@ -708,6 +757,9 @@ impl SinrResolver for ParallelResolver {
     fn resolve_into(&mut self, net: &Network, transmitters: &[usize], out: &mut Vec<Reception>) {
         out.clear();
         self.stats.rounds += 1;
+        if let Some(cache) = self.cache.as_mut() {
+            cache.reset_last_op();
+        }
         if transmitters.is_empty() {
             return;
         }
@@ -795,6 +847,10 @@ impl SinrResolver for ParallelResolver {
             Some(cache) => cache.audit(net),
             None => Ok(()),
         }
+    }
+
+    fn last_cache_op(&self) -> Option<CacheOp> {
+        self.cache.as_ref().and_then(|c| c.last_op())
     }
 }
 

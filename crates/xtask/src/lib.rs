@@ -1,7 +1,9 @@
 //! Workspace-local developer tooling (`cargo run -p xtask -- <task>`).
 //!
-//! The one task so far is `lint`: a dependency-free, source-level
-//! determinism & soundness pass over every `.rs` file in the workspace.
+//! Tasks: `lint` — a dependency-free, source-level determinism &
+//! soundness pass over every `.rs` file in the workspace — and
+//! `tracediff` — a structural diff of two observability traces
+//! ([`tracediff`]) that names the first divergent round.
 //! Everything fast in this reproduction is gated on byte-identical
 //! equivalence between backends and across reruns, so the most dangerous
 //! regressions are the ones the type system happily accepts — an iterated
@@ -22,6 +24,7 @@ pub mod json;
 pub mod policy;
 pub mod rules;
 pub mod scan;
+pub mod tracediff;
 pub mod walk;
 
 use std::path::Path;

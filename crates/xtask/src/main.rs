@@ -1,15 +1,18 @@
 //! `cargo run -p xtask -- lint [--format human|json] [--root DIR]
 //! [--policy FILE]` — see the crate docs and README "Static analysis".
 //!
-//! Exit status: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+//! `cargo run -p xtask -- tracediff A.jsonl B.jsonl` — diff two
+//! observability traces, naming the first divergent round/event.
+//!
+//! Exit status: 0 clean/identical, 1 diagnostics or divergence found,
+//! 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: cargo run -p xtask -- lint [--format human|json] [--root DIR] [--policy FILE]";
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--format human|json] [--root DIR] [--policy FILE]\n       cargo run -p xtask -- tracediff <A.jsonl> <B.jsonl>";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("xtask: {msg}");
@@ -34,11 +37,38 @@ fn find_workspace_root() -> Option<PathBuf> {
     }
 }
 
+fn run_tracediff(args: &[String]) -> ExitCode {
+    let [a, b] = args else {
+        return fail("tracediff takes exactly two trace files");
+    };
+    let read = |path: &String| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let (ta, tb) = match (read(a), read(b)) {
+        (Ok(ta), Ok(tb)) => (ta, tb),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match xtask::tracediff::diff_traces(&ta, &tb) {
+        xtask::tracediff::DiffOutcome::Identical { lines } => {
+            println!("tracediff: identical ({lines} line(s))");
+            ExitCode::SUCCESS
+        }
+        xtask::tracediff::DiffOutcome::Divergent { line, detail } => {
+            println!("tracediff: first divergence at line {line}: {detail}");
+            ExitCode::from(1)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("lint") => {}
+        Some("tracediff") => return run_tracediff(&args[1..]),
         Some(other) => return fail(&format!("unknown task `{other}`")),
         None => return fail("missing task"),
     }

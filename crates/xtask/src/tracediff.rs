@@ -1,0 +1,158 @@
+//! `cargo run -p xtask -- tracediff A B` — structural diff of two
+//! `dcluster-trace/1` JSONL files (see `crates/obs`).
+//!
+//! Traces are deterministic, so two runs of the same scenario must be
+//! byte-identical; when they are not, a plain byte compare only says
+//! "different". This diff names the **first divergent event** — its line
+//! and its round (or epoch) — which is where a determinism hunt starts.
+//! Header (metadata) mismatches are reported too, but an event-level
+//! divergence wins the headline: diffing two different seeds should say
+//! "round 0 differs", not "the seed field differs".
+
+use crate::json::{parse, Value};
+
+/// What [`diff_traces`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOutcome {
+    /// Every line matched byte for byte.
+    Identical {
+        /// Total lines compared (header included).
+        lines: usize,
+    },
+    /// The traces differ; `line` is 1-based.
+    Divergent {
+        /// First divergent line (preferring event lines over the header).
+        line: usize,
+        /// Human-readable description of both sides at that line.
+        detail: String,
+    },
+}
+
+/// One-line description of a trace line for diff output.
+fn describe(line: &str) -> String {
+    let Ok(v) = parse(line) else {
+        return "unparseable JSON".into();
+    };
+    if let Some(s) = v.get("schema").and_then(Value::as_str) {
+        return format!("header ({s})");
+    }
+    let ev = v.get("ev").and_then(Value::as_str).unwrap_or("?");
+    if let Some(r) = v.get("round").and_then(Value::as_f64) {
+        format!("{ev} at round {r}")
+    } else if let Some(e) = v.get("epoch").and_then(Value::as_f64) {
+        format!("{ev} at epoch {e}")
+    } else {
+        ev.to_string()
+    }
+}
+
+/// Diffs two trace texts. Pure: callers do the file I/O (and surface
+/// read failures as operational errors, exit 2 in the CLI).
+pub fn diff_traces(a_text: &str, b_text: &str) -> DiffOutcome {
+    let a: Vec<&str> = a_text.lines().collect();
+    let b: Vec<&str> = b_text.lines().collect();
+    let mut header_diff: Option<(usize, String)> = None;
+    for i in 0..a.len().max(b.len()) {
+        match (a.get(i), b.get(i)) {
+            (Some(x), Some(y)) if x == y => {}
+            (Some(x), Some(y)) => {
+                let detail = format!("A has {}, B has {}", describe(x), describe(y));
+                if i == 0 {
+                    // Remember, but keep scanning: an event divergence is
+                    // the more useful headline than mismatched metadata.
+                    header_diff = Some((1, detail));
+                } else {
+                    let note = if header_diff.is_some() {
+                        " (headers differ too)"
+                    } else {
+                        ""
+                    };
+                    return DiffOutcome::Divergent {
+                        line: i + 1,
+                        detail: format!("{detail}{note}"),
+                    };
+                }
+            }
+            (Some(x), None) => {
+                return DiffOutcome::Divergent {
+                    line: i + 1,
+                    detail: format!("B ends after {i} line(s); A continues with {}", describe(x)),
+                }
+            }
+            (None, Some(y)) => {
+                return DiffOutcome::Divergent {
+                    line: i + 1,
+                    detail: format!("A ends after {i} line(s); B continues with {}", describe(y)),
+                }
+            }
+            (None, None) => unreachable!("loop bound is max of both lengths"),
+        }
+    }
+    match header_diff {
+        Some((line, detail)) => DiffOutcome::Divergent { line, detail },
+        None => DiffOutcome::Identical { lines: a.len() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HDR: &str =
+        "{\"schema\":\"dcluster-trace/1\",\"scenario\":\"t\",\"workload\":\"clustering\",\"n\":5,\"resolver\":\"grid\",\"seed\":1}";
+
+    #[test]
+    fn identical_traces_match() {
+        let t = format!("{HDR}\n{{\"ev\":\"round\",\"round\":0,\"tx\":1,\"rx\":0}}\n");
+        assert_eq!(diff_traces(&t, &t), DiffOutcome::Identical { lines: 2 });
+    }
+
+    #[test]
+    fn first_divergent_round_is_named() {
+        let a = format!(
+            "{HDR}\n{{\"ev\":\"round\",\"round\":0,\"tx\":1,\"rx\":0}}\n{{\"ev\":\"round\",\"round\":1,\"tx\":2,\"rx\":1}}\n"
+        );
+        let b = format!(
+            "{HDR}\n{{\"ev\":\"round\",\"round\":0,\"tx\":1,\"rx\":0}}\n{{\"ev\":\"round\",\"round\":1,\"tx\":3,\"rx\":1}}\n"
+        );
+        let DiffOutcome::Divergent { line, detail } = diff_traces(&a, &b) else {
+            panic!("must diverge");
+        };
+        assert_eq!(line, 3);
+        assert!(detail.contains("round 1"), "detail: {detail}");
+    }
+
+    #[test]
+    fn event_divergence_beats_the_header() {
+        let a = format!("{HDR}\n{{\"ev\":\"round\",\"round\":0,\"tx\":1,\"rx\":0}}\n");
+        let b = a
+            .replace("\"seed\":1", "\"seed\":2")
+            .replace("\"tx\":1", "\"tx\":9");
+        let DiffOutcome::Divergent { line, detail } = diff_traces(&a, &b) else {
+            panic!("must diverge");
+        };
+        assert_eq!(line, 2, "event line wins over the header mismatch");
+        assert!(detail.contains("headers differ too"), "detail: {detail}");
+    }
+
+    #[test]
+    fn header_only_divergence_still_fails() {
+        let a = format!("{HDR}\n");
+        let b = a.replace("\"seed\":1", "\"seed\":2");
+        let DiffOutcome::Divergent { line, .. } = diff_traces(&a, &b) else {
+            panic!("must diverge");
+        };
+        assert_eq!(line, 1);
+    }
+
+    #[test]
+    fn truncation_is_a_divergence() {
+        let a = format!("{HDR}\n{{\"ev\":\"round\",\"round\":0,\"tx\":1,\"rx\":0}}\n");
+        let b = format!("{HDR}\n");
+        let DiffOutcome::Divergent { line, detail } = diff_traces(&a, &b) else {
+            panic!("must diverge");
+        };
+        assert_eq!(line, 2);
+        assert!(detail.contains("B ends"), "detail: {detail}");
+    }
+}

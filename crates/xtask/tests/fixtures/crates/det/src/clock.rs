@@ -1,0 +1,11 @@
+//! Fixture: the sanctioned wall-clock seam — the whole file is exempted
+//! from D2 in the fixture `lint.toml`, mirroring the real policy's
+//! Clock-seam scoping for `crates/obs/src/clock.rs`.
+
+pub fn now_nanos() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos() // no D2: file is exempt
+}
+
+pub fn redundant_allow() -> u8 {
+    9 // lint:allow(D2, reason = "file-level exemption already covers this") — expect A1
+}

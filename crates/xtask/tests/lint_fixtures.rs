@@ -23,6 +23,7 @@ const EXPECTED: &[(&str, &str, usize)] = &[
     ("A1", "crates/det/src/allows.rs", 17),
     ("A0", "crates/det/src/allows.rs", 21),
     ("P1", "crates/det/src/allows.rs", 21),
+    ("A1", "crates/det/src/clock.rs", 10),
     ("D1", "crates/det/src/lib.rs", 11),
     ("D2", "crates/det/src/lib.rs", 16),
     ("P1", "crates/det/src/lib.rs", 21),
